@@ -1,0 +1,46 @@
+"""Figure 2: CRA slowdown versus metadata-cache size.
+
+Runs CRA with 64 / 128 / 256 KB (full-scale-equivalent) counter caches
+across all 36 workloads. The paper's result: CRA stays badly slow even
+with a 4x larger cache (25.8% -> 16.8% average slowdown), because
+row-granular access streams have too little spatial locality for a
+line-granularity cache.
+"""
+
+from _common import (
+    all_slowdown,
+    bench_config,
+    comparison_table,
+    record_result,
+    runner_for,
+)
+
+CACHE_SIZES_KB = (64, 128, 256)
+
+
+def test_fig2_cra_metadata_cache_sweep(benchmark):
+    def run_sweep():
+        results = {}
+        for size_kb in CACHE_SIZES_KB:
+            config = bench_config(cra_cache_full_bytes=size_kb * 1024)
+            results[size_kb] = runner_for(config).compare("cra")
+        return results
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    payload = {}
+    for size_kb, comparisons in results.items():
+        payload[f"cra_{size_kb}kb"] = comparison_table(
+            comparisons, f"Figure 2: CRA with {size_kb} KB metadata cache"
+        )
+
+    slowdowns = {kb: all_slowdown(results[kb]) for kb in CACHE_SIZES_KB}
+    print(f"\nCRA average slowdown by cache size: {slowdowns}")
+
+    # Shape: significant average slowdown at 64 KB, monotonically
+    # relieved (but not fixed) by bigger caches.
+    assert slowdowns[64] > 8.0
+    assert slowdowns[64] >= slowdowns[128] >= slowdowns[256]
+    assert slowdowns[256] > 3.0  # still far from free
+
+    record_result("fig2_cra_cache_sweep", payload)

@@ -1,0 +1,53 @@
+"""Figure 8: relative contribution of the GCT and the RCC.
+
+Hydra without its RCC falls back to DRAM read-modify-writes for every
+per-row update (paper: 4.5% average slowdown); without its GCT every
+activation needs per-row state and the RCC thrashes (paper: 20%).
+The ordering NoGCT >> NoRCC >> Hydra is the design's justification.
+"""
+
+from _common import (
+    all_slowdown,
+    bench_config,
+    comparison_table,
+    record_result,
+    runner_for,
+)
+
+VARIANTS = ("hydra", "hydra-norcc", "hydra-nogct")
+
+
+def test_fig8_gct_rcc_ablation(benchmark):
+    config = bench_config()
+    runner = runner_for(config)
+
+    def run_all():
+        return {name: runner.compare(name) for name in VARIANTS}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    payload = {}
+    for name, comparisons in results.items():
+        payload[name] = comparison_table(
+            comparisons, f"Figure 8: {name}"
+        )
+
+    hydra = all_slowdown(results["hydra"])
+    norcc = all_slowdown(results["hydra-norcc"])
+    nogct = all_slowdown(results["hydra-nogct"])
+    print(
+        f"\nALL(36) slowdown: hydra={hydra:.2f}% norcc={norcc:.2f}% "
+        f"nogct={nogct:.2f}% (paper: 0.7 / 4.5 / 20)"
+    )
+
+    # Shape: both structures matter; the GCT matters most.
+    assert hydra < norcc < nogct
+    assert norcc > 2.0
+    assert nogct > 8.0
+
+    payload["all36_slowdown_percent"] = {
+        "hydra": round(hydra, 3),
+        "hydra-norcc": round(norcc, 3),
+        "hydra-nogct": round(nogct, 3),
+    }
+    record_result("fig8_ablation", payload)

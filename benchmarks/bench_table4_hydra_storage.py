@@ -1,0 +1,45 @@
+"""Table 4: Hydra's SRAM storage breakdown for the 32 GB system.
+
+GCT (32K x 8-bit) = 32 KB, RCC (8K x 24-bit) = 24 KB, RIT-ACT
+(512 x 8-bit) = 0.5 KB; total 56.5 KB, plus a 4 MB DRAM reservation
+(<0.02% of capacity).
+"""
+
+import pytest
+
+from _common import record_result
+
+from repro.core.config import HydraConfig
+from repro.core.storage import hydra_storage
+
+
+def test_table4_hydra_storage(benchmark):
+    report = benchmark.pedantic(
+        hydra_storage, args=(HydraConfig(),), rounds=1, iterations=1
+    )
+
+    print("\n=== Table 4: Hydra storage overhead (32GB, 2 channels) ===")
+    for name, value in report.rows().items():
+        print(f"{name:<8} {value}")
+    print(
+        f"DRAM reservation: {report.dram_reserved_bytes / 1024 / 1024:.1f} MB "
+        f"({100 * report.dram_reserved_bytes / (32 * 1024 ** 3):.3f}% of 32GB)"
+    )
+
+    assert report.gct_bytes == 32 * 1024
+    assert report.rcc_bytes == 24 * 1024
+    assert report.rit_act_bytes == 512
+    assert report.sram_total_kib == pytest.approx(56.5)
+    assert report.dram_reserved_bytes == 4 * 1024 * 1024
+    assert report.dram_reserved_bytes / (32 * 1024**3) < 0.0002
+
+    record_result(
+        "table4_hydra_storage",
+        {
+            "gct_kib": report.gct_bytes / 1024,
+            "rcc_kib": report.rcc_bytes / 1024,
+            "rit_act_kib": report.rit_act_bytes / 1024,
+            "total_kib": report.sram_total_kib,
+            "dram_reserved_mib": report.dram_reserved_bytes / 1024 / 1024,
+        },
+    )

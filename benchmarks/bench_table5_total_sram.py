@@ -1,0 +1,41 @@
+"""Table 5: total SRAM for the 32 GB system, DDR4 vs DDR5.
+
+Per-bank trackers (Graphene/TWiCE/CAT) double when DDR5 doubles the
+bank count; D-CBF and Hydra do not. Hydra's 56.5 KB is an order of
+magnitude below every alternative on both technologies.
+"""
+
+import pytest
+
+from _common import record_result
+
+from repro.trackers.storage import total_sram_table
+
+KIB = 1024
+
+
+def test_table5_total_sram(benchmark):
+    table = benchmark.pedantic(total_sram_table, rounds=1, iterations=1)
+
+    print("\n=== Table 5: total SRAM, 32GB / 2 ranks (KB) ===")
+    print(f"{'scheme':<12} {'DDR4':>10} {'DDR5':>10}")
+    payload = {}
+    for scheme, cols in table.items():
+        print(
+            f"{scheme:<12} {cols['ddr4'] / KIB:>10.1f} {cols['ddr5'] / KIB:>10.1f}"
+        )
+        payload[scheme] = {
+            "ddr4_kib": round(cols["ddr4"] / KIB, 1),
+            "ddr5_kib": round(cols["ddr5"] / KIB, 1),
+        }
+
+    assert table["Hydra"]["ddr4"] == pytest.approx(56.5 * KIB, rel=0.01)
+    assert table["Graphene"]["ddr4"] == pytest.approx(680 * KIB, rel=0.01)
+    for scheme in ("Graphene", "TWiCE", "CAT"):
+        assert table[scheme]["ddr5"] == 2 * table[scheme]["ddr4"]
+    for scheme in ("D-CBF", "Hydra"):
+        assert table[scheme]["ddr5"] == table[scheme]["ddr4"]
+    for scheme in ("Graphene", "TWiCE", "CAT", "D-CBF"):
+        assert table[scheme]["ddr4"] > 10 * table["Hydra"]["ddr4"]
+
+    record_result("table5_total_sram", payload)

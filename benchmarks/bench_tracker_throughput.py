@@ -1,0 +1,43 @@
+"""Microbenchmark: tracker update throughput (simulator cost model).
+
+Not a paper figure — this measures the *reproduction's* per-activation
+cost for each tracker, which bounds how fast the full-system sweeps
+run. Uses pytest-benchmark's real timing loop (many rounds), unlike
+the one-shot table benches.
+"""
+
+import numpy as np
+import pytest
+
+from _common import bench_config
+
+from repro.sim.simulator import make_tracker
+
+N_ACTIVATIONS = 20_000
+
+
+@pytest.fixture(scope="module")
+def activation_stream():
+    config = bench_config()
+    rng = np.random.default_rng(5)
+    rows = rng.integers(
+        0, config.geometry.total_rows // 2, size=N_ACTIVATIONS
+    )
+    return rows.tolist()
+
+
+@pytest.mark.parametrize(
+    "tracker_name",
+    ["hydra", "graphene", "cra", "ocpr", "para", "dcbf"],
+)
+def test_tracker_update_throughput(benchmark, tracker_name, activation_stream):
+    config = bench_config()
+
+    def run():
+        tracker = make_tracker(tracker_name, config)
+        for row in activation_stream:
+            tracker.on_activation(row)
+        return tracker
+
+    tracker = benchmark(run)
+    assert tracker.mitigation_count() >= 0

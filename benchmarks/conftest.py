@@ -1,0 +1,14 @@
+"""Benchmark collection configuration.
+
+The benchmarks regenerate the paper's tables and figures; most of the
+wall time is one-time simulation that is disk-cached, so repeated
+benchmark runs are cheap. Heavy benches use ``benchmark.pedantic``
+with a single round: the quantity of interest is the regenerated
+table, not microsecond-level timing stability.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `_common` importable when pytest runs from the repo root.
+sys.path.insert(0, str(Path(__file__).parent))

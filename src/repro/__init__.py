@@ -1,0 +1,64 @@
+"""Reproduction of "Hydra: Enabling Low-Overhead Mitigation of
+Row-Hammer at Ultra-Low Thresholds via Hybrid Tracking" (ISCA 2022).
+
+Quick start::
+
+    from repro import HydraConfig, HydraTracker
+
+    tracker = HydraTracker(HydraConfig(trh=500))
+    response = tracker.on_activation(row_id)      # None on the fast path
+    if response and response.mitigate_rows:
+        ...  # refresh the aggressor's neighbours
+
+Full-system simulation::
+
+    from repro.sim import SystemConfig, ExperimentRunner
+
+    runner = ExperimentRunner(SystemConfig(scale=1 / 32))
+    result = runner.run("hydra", "GUPS")
+    comparisons = runner.compare("hydra", ["GUPS", "xz"])
+
+Packages:
+
+- ``repro.core``      — Hydra itself (GCT, RCC, RCT, RIT-ACT).
+- ``repro.trackers``  — baselines: Graphene, CRA, OCPR, PARA, D-CBF.
+- ``repro.dram``      — event-driven DDR4 substrate + power model.
+- ``repro.memctrl``   — memory controller, mitigation engine.
+- ``repro.cpu``       — LLC model, limited-MLP core model.
+- ``repro.workloads`` — Table-3-calibrated traces, GUPS, attacks.
+- ``repro.analysis``  — security verification, SRAM power, trends.
+- ``repro.sim``       — experiment harness and sweeps.
+"""
+
+from repro.core import (
+    GroupCountTable,
+    HydraConfig,
+    HydraStats,
+    HydraTracker,
+    RowCountCache,
+    RowCountTable,
+    hydra_storage,
+)
+from repro.interfaces import (
+    ActivationTracker,
+    MetaAccess,
+    NullTracker,
+    TrackerResponse,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActivationTracker",
+    "GroupCountTable",
+    "HydraConfig",
+    "HydraStats",
+    "HydraTracker",
+    "MetaAccess",
+    "NullTracker",
+    "RowCountCache",
+    "RowCountTable",
+    "TrackerResponse",
+    "hydra_storage",
+    "__version__",
+]

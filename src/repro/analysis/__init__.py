@@ -1,0 +1,63 @@
+"""Analysis tools: security verification, SRAM power, T_RH trends."""
+
+from repro.analysis.blast import (
+    CascadeRing,
+    amplification_factor,
+    is_design_safe,
+    mitigation_cascade,
+    paper_worked_example,
+)
+from repro.analysis.charts import (
+    bar_chart,
+    comparison_chart,
+    stacked_percentages,
+)
+from repro.analysis.report import load_results, render_report, write_report
+from repro.analysis.security import (
+    SecurityHarness,
+    SecurityReport,
+    SecurityViolation,
+    TrackingOracle,
+    verify_tracker,
+)
+from repro.analysis.sram_power import (
+    SramPowerEstimate,
+    hydra_sram_power,
+    read_energy_pj,
+    sram_power,
+)
+from repro.analysis.trends import (
+    OBSERVATIONS,
+    ThresholdObservation,
+    projected_trh,
+    trend_rows,
+    years_until_threshold,
+)
+
+__all__ = [
+    "CascadeRing",
+    "OBSERVATIONS",
+    "amplification_factor",
+    "bar_chart",
+    "comparison_chart",
+    "is_design_safe",
+    "stacked_percentages",
+    "load_results",
+    "mitigation_cascade",
+    "paper_worked_example",
+    "render_report",
+    "write_report",
+    "SecurityHarness",
+    "SecurityReport",
+    "SecurityViolation",
+    "SramPowerEstimate",
+    "ThresholdObservation",
+    "TrackingOracle",
+    "hydra_sram_power",
+    "projected_trh",
+    "read_energy_pj",
+    "sram_power",
+    "trend_rows",
+    "verify_tracker",
+    "years_until_threshold",
+]

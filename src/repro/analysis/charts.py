@@ -1,0 +1,96 @@
+"""Terminal-friendly ASCII charts for figure-shaped output.
+
+The paper's figures are bar charts over workloads/suites; the CLI and
+examples render their regenerated equivalents with these helpers so a
+terminal session can eyeball shapes without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+_BLOCK = "#"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    unit: str = "",
+    max_value: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart, one row per labelled value."""
+    if not values:
+        return "(no data)"
+    peak = max_value if max_value is not None else max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        cells = int(round(width * min(value, peak) / peak))
+        overflow = "+" if value > peak else ""
+        lines.append(
+            f"{label:<{label_width}} |{_BLOCK * cells}{overflow} "
+            f"{value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def stacked_percentages(
+    rows: Mapping[str, Mapping[str, float]],
+    order: Optional[list] = None,
+    width: int = 50,
+    symbols: str = "#=.",
+) -> str:
+    """Figure-6-style 100%-stacked bars.
+
+    ``rows`` maps a label to {component: fraction}; fractions of each
+    row should sum to ~1. Components are drawn in ``order`` using one
+    symbol each.
+    """
+    if not rows:
+        return "(no data)"
+    label_width = max(len(label) for label in rows)
+    first = next(iter(rows.values()))
+    components = order if order is not None else list(first)
+    lines = []
+    for label, parts in rows.items():
+        bar = ""
+        for component, symbol in zip(components, symbols):
+            cells = int(round(width * parts.get(component, 0.0)))
+            bar += symbol * cells
+        lines.append(f"{label:<{label_width}} |{bar[:width]:<{width}}|")
+    legend = "  ".join(
+        f"{symbol}={component}"
+        for component, symbol in zip(components, symbols)
+    )
+    return "\n".join(lines) + f"\n{'':<{label_width}}  {legend}"
+
+
+def comparison_chart(
+    measured: Mapping[str, float],
+    paper: Mapping[str, float],
+    width: int = 40,
+    unit: str = "%",
+) -> str:
+    """Paired measured-vs-paper bars for reproduction summaries."""
+    labels = [k for k in measured if k in paper]
+    if not labels:
+        return "(no data)"
+    peak = max(
+        max(measured[k] for k in labels), max(paper[k] for k in labels)
+    ) or 1.0
+    label_width = max(len(k) for k in labels)
+    lines = []
+    for key in labels:
+        m_cells = int(round(width * measured[key] / peak))
+        p_cells = int(round(width * paper[key] / peak))
+        lines.append(
+            f"{key:<{label_width}} measured |{'#' * m_cells:<{width}}| "
+            f"{measured[key]:.2f}{unit}"
+        )
+        lines.append(
+            f"{'':<{label_width}} paper    |{'=' * p_cells:<{width}}| "
+            f"{paper[key]:.2f}{unit}"
+        )
+    return "\n".join(lines)

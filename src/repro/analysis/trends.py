@@ -1,0 +1,88 @@
+"""RowHammer threshold trend data and projection (Figure 1a, §2.2).
+
+The published trajectory of the RowHammer threshold T_RH: 139K
+activations for DDR3 in 2014 down to ~4.8K for LPDDR4 in 2020, with
+the paper's motivating question — where does DDR5 land? — answered by
+a simple exponential-decay projection. The ultra-low-threshold regime
+the paper targets (T_RH <= 500) is where that projection points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class ThresholdObservation:
+    """One measured RowHammer threshold."""
+
+    year: int
+    technology: str
+    trh: int
+    source: str
+
+
+#: Published T_RH observations (Figure 1a and §2.2's citations).
+OBSERVATIONS: Tuple[ThresholdObservation, ...] = (
+    ThresholdObservation(2014, "DDR3", 139_000, "Kim et al., ISCA 2014"),
+    ThresholdObservation(2016, "DDR4 (gen1)", 22_000, "industry reports"),
+    ThresholdObservation(2018, "DDR4 (gen2)", 18_000, "industry reports"),
+    ThresholdObservation(2019, "DDR4 (gen3)", 10_000, "industry reports"),
+    ThresholdObservation(2020, "LPDDR4", 4_800, "Kim et al., ISCA 2020"),
+)
+
+
+def decay_rate_per_year() -> float:
+    """Fitted exponential decay rate of T_RH (log-linear regression)."""
+    xs = [obs.year for obs in OBSERVATIONS]
+    ys = [math.log(obs.trh) for obs in OBSERVATIONS]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / sum(
+        (x - mean_x) ** 2 for x in xs
+    )
+    return slope  # negative: log(T_RH) per year
+
+
+def projected_trh(year: int) -> int:
+    """Extrapolate T_RH to a future year from the fitted trend."""
+    slope = decay_rate_per_year()
+    last = OBSERVATIONS[-1]
+    log_trh = math.log(last.trh) + slope * (year - last.year)
+    return max(1, int(round(math.exp(log_trh))))
+
+
+def years_until_threshold(target_trh: int) -> float:
+    """Years after the last observation until T_RH hits ``target_trh``."""
+    if target_trh <= 0:
+        raise ValueError("target_trh must be positive")
+    slope = decay_rate_per_year()
+    last = OBSERVATIONS[-1]
+    if target_trh >= last.trh:
+        return 0.0
+    return (math.log(target_trh) - math.log(last.trh)) / slope
+
+
+def trend_rows() -> List[dict]:
+    """Figure 1a as printable rows, plus the DDR5 projection."""
+    rows = [
+        {
+            "year": obs.year,
+            "technology": obs.technology,
+            "trh": obs.trh,
+            "source": obs.source,
+        }
+        for obs in OBSERVATIONS
+    ]
+    rows.append(
+        {
+            "year": 2024,
+            "technology": "DDR5 (projected)",
+            "trh": projected_trh(2024),
+            "source": "log-linear extrapolation",
+        }
+    )
+    return rows

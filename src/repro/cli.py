@@ -1,0 +1,210 @@
+"""Command-line front-end: ``hydra-sim``.
+
+Subcommands:
+
+- ``run``      — simulate one workload under one tracker and print a
+  result summary (optionally against the baseline).
+- ``sweep``    — run a tracker across all 36 workloads and print
+  per-workload normalized performance plus suite geomeans.
+- ``storage``  — print the Table 1 / Table 4 / Table 5 storage report.
+- ``security`` — run the attack-pattern security verification.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import HydraConfig, HydraTracker, hydra_storage
+from repro.analysis.security import verify_tracker
+from repro.sim import ExperimentRunner, SystemConfig, suite_geomeans
+from repro.trackers.storage import storage_table, total_sram_table
+from repro.workloads import all_names, attacks
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale-denominator",
+        type=int,
+        default=32,
+        help="simulate 1/N of the full system (default 32; 1 = full)",
+    )
+    parser.add_argument("--trh", type=int, default=500, help="RowHammer threshold")
+
+
+def _config(args: argparse.Namespace) -> SystemConfig:
+    return SystemConfig(scale=1.0 / args.scale_denominator, trh=args.trh)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(_config(args))
+    result = runner.run(args.tracker, args.workload)
+    base = runner.run("baseline", args.workload)
+    slowdown = 100.0 * (result.end_time_ns / base.end_time_ns - 1.0)
+    print(f"workload          : {result.workload}")
+    print(f"tracker           : {result.tracker}")
+    print(f"execution time    : {result.end_time_ns / 1e6:.3f} ms "
+          f"(baseline {base.end_time_ns / 1e6:.3f} ms, {slowdown:+.2f}%)")
+    print(f"activations       : {result.activations}")
+    print(f"metadata accesses : {result.meta_accesses}")
+    print(f"mitigations       : {result.mitigations}")
+    print(f"victim refreshes  : {result.victim_refreshes}")
+    print(f"bus utilization   : {result.bus_utilization:.1%}")
+    print(f"DRAM power        : {result.dram_power_w:.2f} W")
+    for key, value in result.extra.items():
+        print(f"{key:<18}: {value}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(_config(args))
+    comparisons = runner.compare(args.tracker)
+    print(f"{'workload':<12} {'norm. perf':>10}")
+    for comp in comparisons:
+        print(f"{comp.workload:<12} {comp.normalized_performance:>10.4f}")
+    print("-" * 23)
+    means = suite_geomeans(comparisons)
+    for suite, mean in means.items():
+        print(f"{suite:<12} {mean:>10.4f}")
+    from repro.analysis.charts import bar_chart
+
+    slowdowns = {
+        suite: 100.0 * (1.0 / value - 1.0) for suite, value in means.items()
+    }
+    print("\nslowdown by suite:")
+    print(bar_chart(slowdowns, width=40, unit="%"))
+    return 0
+
+
+def _cmd_storage(args: argparse.Namespace) -> int:
+    print("Table 1 — per-rank SRAM (KB):")
+    for row in storage_table():
+        cells = ", ".join(
+            f"{name}={bytes_ / 1024:.0f}" for name, bytes_ in row.bytes_by_scheme.items()
+        )
+        print(f"  T_RH={row.trh:<6} {cells}")
+    print("\nTable 4 — Hydra breakdown:")
+    for name, value in hydra_storage(HydraConfig(trh=args.trh)).rows().items():
+        print(f"  {name:<8} {value}")
+    print("\nTable 5 — total SRAM, 32GB system (KB):")
+    for name, cols in total_sram_table(trh=args.trh).items():
+        print(
+            f"  {name:<10} DDR4={cols['ddr4'] / 1024:.1f}  DDR5={cols['ddr5'] / 1024:.1f}"
+        )
+    return 0
+
+
+def _cmd_security(args: argparse.Namespace) -> int:
+    config = _config(args)
+    hydra_cfg = config.hydra_config()
+    geometry = hydra_cfg.geometry
+    threshold = hydra_cfg.th
+    patterns = {
+        "single-sided": attacks.single_sided(1000, 20 * threshold),
+        "double-sided": attacks.double_sided(2000, 10 * threshold),
+        "many-sided": attacks.many_sided(list(range(3000, 3024)), 2 * threshold),
+        "half-double": attacks.half_double(4000, 20 * threshold),
+        "thrash": attacks.thrash_then_hammer(
+            5000, list(range(6000, 6512)), 4 * threshold, interleave=8
+        ),
+        "rct-region": attacks.rct_region_attack(geometry, 10 * threshold),
+    }
+    failures = 0
+    for name, sequence in patterns.items():
+        tracker = HydraTracker(hydra_cfg)
+        report = verify_tracker(tracker, geometry, sequence, threshold)
+        status = "SECURE" if report.secure else "VIOLATED"
+        if not report.secure:
+            failures += 1
+        print(
+            f"{name:<14} {status:<9} activations={report.activations:>8} "
+            f"mitigations={report.mitigations:>6} "
+            f"max-unmitigated={report.max_unmitigated_count}/{threshold}"
+        )
+    return 1 if failures else 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.sim.experiments import available_experiments, run_experiment
+
+    if args.name == "list":
+        for name in available_experiments():
+            print(name)
+        return 0
+    payload = run_experiment(args.name, _config(args))
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.report import write_report
+
+    results_dir = Path(args.results_dir)
+    output = Path(args.output) if args.output else None
+    text = write_report(results_dir, output)
+    if output is None:
+        print(text)
+    else:
+        print(f"wrote {output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hydra-sim",
+        description="Hydra (ISCA 2022) RowHammer-tracking simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one workload")
+    _add_common(run)
+    run.add_argument("workload", choices=all_names())
+    run.add_argument("--tracker", default="hydra")
+    run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser("sweep", help="run all 36 workloads")
+    _add_common(sweep)
+    sweep.add_argument("--tracker", default="hydra")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    storage = sub.add_parser("storage", help="print storage tables")
+    _add_common(storage)
+    storage.set_defaults(func=_cmd_storage)
+
+    security = sub.add_parser("security", help="verify attack resilience")
+    _add_common(security)
+    security.set_defaults(func=_cmd_security)
+
+    exp = sub.add_parser(
+        "experiment", help="run one named paper experiment (fig5, table1, ...)"
+    )
+    _add_common(exp)
+    exp.add_argument("name", help="experiment id; use 'list' to enumerate")
+    exp.set_defaults(func=_cmd_experiment)
+
+    report = sub.add_parser(
+        "report", help="render paper-vs-measured report from bench results"
+    )
+    report.add_argument(
+        "--results-dir", default="benchmarks/results",
+        help="directory of recorded benchmark JSON results",
+    )
+    report.add_argument(
+        "--output", default=None, help="write markdown here instead of stdout"
+    )
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

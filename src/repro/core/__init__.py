@@ -1,0 +1,28 @@
+"""Hydra: the paper's hybrid SRAM/DRAM RowHammer tracker.
+
+Public surface:
+
+- :class:`HydraConfig` — design parameters (thresholds, table sizes).
+- :class:`HydraTracker` — the tracker itself (GCT + RCC + RCT + RIT-ACT).
+- :class:`GroupCountTable`, :class:`RowCountCache`,
+  :class:`RowCountTable` — the individual structures, usable alone.
+- :func:`hydra_storage` — Table-4 storage accounting.
+"""
+
+from repro.core.config import HydraConfig
+from repro.core.gct import GroupCountTable
+from repro.core.hydra import HydraStats, HydraTracker
+from repro.core.rcc import RowCountCache
+from repro.core.rct import RowCountTable
+from repro.core.storage import HydraStorageReport, hydra_storage
+
+__all__ = [
+    "GroupCountTable",
+    "HydraConfig",
+    "HydraStats",
+    "HydraStorageReport",
+    "HydraTracker",
+    "RowCountCache",
+    "RowCountTable",
+    "hydra_storage",
+]

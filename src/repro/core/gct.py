@@ -1,0 +1,80 @@
+"""Group-Count Table (GCT): Hydra's first line of defense.
+
+An untagged table of saturating counters, one per *row-group* of
+consecutive rows (128 rows by default — the rows sharing their MSBs).
+Each counter tracks the aggregate activation count of its whole group
+and saturates at T_G. While a group's counter is below T_G the GCT
+alone services the activation; once it reaches T_G the group is
+promoted to per-row tracking (RCT/RCC) for the rest of the window.
+
+Because the counter is incremented by *every* row in the group, it is
+always >= the true count of any single row in the group (Lemma-1),
+which is what makes the filtering safe.
+"""
+
+from __future__ import annotations
+
+
+class GroupCountTable:
+    """Array of per-group saturating counters."""
+
+    __slots__ = ("entries", "threshold", "_group_shift", "_counts", "saturated_groups")
+
+    def __init__(self, entries: int, threshold: int, group_size: int) -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if group_size <= 0 or group_size & (group_size - 1):
+            raise ValueError("group_size must be a positive power of two")
+        self.entries = entries
+        self.threshold = threshold
+        self._group_shift = group_size.bit_length() - 1
+        self._counts = [0] * entries
+        #: Number of groups currently saturated at T_G (diagnostics).
+        self.saturated_groups = 0
+
+    def group_of(self, row_id: int) -> int:
+        """GCT index of a row (rows with identical MSBs share a group)."""
+        return row_id >> self._group_shift
+
+    def update(self, row_id: int) -> int:
+        """Count one activation; return the group's new state.
+
+        Returns the counter value after the update. A return equal to
+        ``threshold`` means the group just saturated on *this* update
+        (the caller must initialize the group's RCT entries); a return
+        of ``threshold + 1`` is the sentinel for "already saturated —
+        use per-row tracking".
+        """
+        group = row_id >> self._group_shift
+        value = self._counts[group]
+        if value >= self.threshold:
+            return self.threshold + 1
+        value += 1
+        self._counts[group] = value
+        if value == self.threshold:
+            self.saturated_groups += 1
+        return value
+
+    def value(self, row_id: int) -> int:
+        """Current counter value of the row's group (inspection)."""
+        return self._counts[row_id >> self._group_shift]
+
+    def is_saturated(self, row_id: int) -> bool:
+        return self._counts[row_id >> self._group_shift] >= self.threshold
+
+    def reset(self) -> None:
+        """Window reset: zero every counter."""
+        self._counts = [0] * self.entries
+        self.saturated_groups = 0
+
+    def sram_bytes(self) -> int:
+        """One byte per entry (counters sized to count to T_G <= 255).
+
+        Matches Table 4: a 32K-entry GCT costs 32 KB. For thresholds
+        above 255 the entry widens to the minimum whole number of
+        bytes.
+        """
+        entry_bytes = max(1, (self.threshold.bit_length() + 7) // 8)
+        return self.entries * entry_bytes

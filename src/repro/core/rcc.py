@@ -1,0 +1,116 @@
+"""Row-Count Cache (RCC): on-chip cache of individual RCT entries.
+
+Unlike a conventional metadata cache (64 B lines tagged by memory
+address, as CRA uses), the RCC caches *single counters* tagged by row
+address (§4.4): row-to-row metadata accesses have poor spatial
+locality, so line-granularity caching wastes capacity. The RCC is
+set-associative with SRRIP replacement (Table 4 lists the 2-bit SRRIP
+state in the entry). Every valid entry is dirty by construction — a
+counter is only brought in to be incremented.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: SRRIP re-reference interval values (2 bits).
+_RRPV_MAX = 3
+_RRPV_INSERT = 2
+_RRPV_HIT = 0
+
+
+class RowCountCache:
+    """Set-associative, row-tagged cache of (row -> count) entries."""
+
+    __slots__ = ("sets", "ways", "_data", "hits", "misses", "evictions")
+
+    def __init__(self, entries: int, ways: int) -> None:
+        if entries <= 0 or ways <= 0 or entries % ways:
+            raise ValueError("entries must be a positive multiple of ways")
+        self.sets = entries // ways
+        self.ways = ways
+        # One dict per set: row_id -> [count, rrpv].
+        self._data: List[Dict[int, List[int]]] = [
+            {} for _ in range(self.sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def entries(self) -> int:
+        return self.sets * self.ways
+
+    def _set_of(self, row_id: int) -> Dict[int, List[int]]:
+        return self._data[row_id % self.sets]
+
+    def lookup(self, row_id: int) -> Optional[int]:
+        """Return the cached count for a row, or None on miss.
+
+        A hit promotes the entry (SRRIP near-immediate re-reference).
+        """
+        entry = self._set_of(row_id).get(row_id)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        entry[1] = _RRPV_HIT
+        return entry[0]
+
+    def write(self, row_id: int, count: int) -> None:
+        """Update the count of a row that must already be resident."""
+        entry = self._set_of(row_id).get(row_id)
+        if entry is None:
+            raise KeyError(f"row {row_id} not resident in RCC")
+        entry[0] = count
+
+    def install(self, row_id: int, count: int) -> Optional[Tuple[int, int]]:
+        """Insert a row's counter, possibly evicting a victim.
+
+        Returns ``(victim_row, victim_count)`` when a valid (hence
+        dirty) entry was displaced and must be written back to the RCT,
+        or ``None`` when a free way was available.
+        """
+        cache_set = self._set_of(row_id)
+        if row_id in cache_set:
+            # Re-install of a resident row just refreshes its state.
+            cache_set[row_id] = [count, _RRPV_INSERT]
+            return None
+        victim: Optional[Tuple[int, int]] = None
+        if len(cache_set) >= self.ways:
+            victim_row = self._select_victim(cache_set)
+            victim = (victim_row, cache_set.pop(victim_row)[0])
+            self.evictions += 1
+        cache_set[row_id] = [count, _RRPV_INSERT]
+        return victim
+
+    @staticmethod
+    def _select_victim(cache_set: Dict[int, List[int]]) -> int:
+        """SRRIP: evict an RRPV-max entry, aging the set as needed."""
+        while True:
+            for row, entry in cache_set.items():
+                if entry[1] >= _RRPV_MAX:
+                    return row
+            for entry in cache_set.values():
+                entry[1] += 1
+
+    def contains(self, row_id: int) -> bool:
+        return row_id in self._set_of(row_id)
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._data)
+
+    def reset(self) -> None:
+        """Window reset: drop all entries without writeback.
+
+        Safe because RCT contents are only consumed after a group is
+        re-initialized in the new window (§4.6).
+        """
+        self._data = [{} for _ in range(self.sets)]
+
+    def sram_bytes(self) -> int:
+        """Three bytes per entry: valid + 13-bit tag + SRRIP + counter.
+
+        Matches Table 4: an 8K-entry RCC costs 24 KB.
+        """
+        return self.entries * 3

@@ -1,0 +1,106 @@
+"""Row-Count Table (RCT): per-row counters stored in the DRAM array.
+
+The RCT holds one small counter per DRAM row, in a reserved region of
+the addressable space (4 MB for the paper's 32 GB system — under
+0.02% of capacity). This model keeps the counters for a bank's rows in
+reserved rows *of that same bank* (16 meta-rows at the top of each
+bank at full scale), so a row-group's 128 one-byte counters occupy two
+adjacent 64 B lines of a single meta-row — which is what makes the
+paper's group initialization cost exactly two line reads plus two line
+writes.
+
+The class also answers "which DRAM row stores row X's counter?" so the
+memory controller can time metadata traffic, and "is row Y a metadata
+row?" so the tracker can guard the RCT's own rows with the dedicated
+RIT-ACT counters (§5.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dram.timing import DramGeometry
+from repro.interfaces import MetaAccess
+
+
+class RowCountTable:
+    """DRAM-resident table of per-row activation counters."""
+
+    def __init__(self, geometry: DramGeometry, counter_bytes: int = 1) -> None:
+        if counter_bytes <= 0:
+            raise ValueError("counter_bytes must be positive")
+        self._geometry = geometry
+        self.counter_bytes = counter_bytes
+        self._rows_per_bank = geometry.rows_per_bank
+        self._counters_per_meta_row = geometry.row_size_bytes // counter_bytes
+        if self._counters_per_meta_row == 0:
+            raise ValueError("counter does not fit in a row")
+        self.meta_rows_per_bank = -(-self._rows_per_bank // self._counters_per_meta_row)
+        self._meta_base_local = self._rows_per_bank - self.meta_rows_per_bank
+        if self._meta_base_local <= 0:
+            raise ValueError("geometry too small to host the RCT")
+        self._line_size = geometry.line_size_bytes
+        self._counts: List[int] = [0] * geometry.total_rows
+
+    @property
+    def geometry(self) -> DramGeometry:
+        return self._geometry
+
+    @property
+    def meta_base_local(self) -> int:
+        """First in-bank row index of the metadata reservation."""
+        return self._meta_base_local
+
+    @property
+    def total_meta_rows(self) -> int:
+        return self.meta_rows_per_bank * self._geometry.total_banks
+
+    def dram_reserved_bytes(self) -> int:
+        """Reserved DRAM capacity (whole meta rows)."""
+        return (
+            self.total_meta_rows * self._geometry.row_size_bytes
+        )
+
+    def is_meta_row(self, row_id: int) -> bool:
+        """True if ``row_id`` is one of the rows storing the RCT."""
+        return row_id % self._rows_per_bank >= self._meta_base_local
+
+    def meta_row_of(self, row_id: int) -> int:
+        """Global id of the DRAM row holding ``row_id``'s counter."""
+        bank_base = row_id - row_id % self._rows_per_bank
+        local = row_id % self._rows_per_bank
+        return bank_base + self._meta_base_local + local // self._counters_per_meta_row
+
+    def read(self, row_id: int) -> int:
+        return self._counts[row_id]
+
+    def write(self, row_id: int, value: int) -> None:
+        if value < 0:
+            raise ValueError("counter value must be non-negative")
+        self._counts[row_id] = value
+
+    def init_group(self, first_row: int, group_size: int, value: int) -> List[MetaAccess]:
+        """Set a whole row-group's counters to ``value`` (GCT overflow).
+
+        Returns the metadata traffic this costs: n line reads plus n
+        line writes on the group's meta row (n = 2 for the default
+        128-row groups with 1-byte counters).
+        """
+        if first_row % group_size:
+            raise ValueError("first_row must be group aligned")
+        self._counts[first_row : first_row + group_size] = [value] * group_size
+        n_lines = -(-group_size * self.counter_bytes // self._line_size)
+        meta_row = self.meta_row_of(first_row)
+        return [
+            MetaAccess(row_id=meta_row, n_lines=n_lines, is_write=False),
+            MetaAccess(row_id=meta_row, n_lines=n_lines, is_write=True),
+        ]
+
+    def reset_all(self) -> None:
+        """Zero every counter.
+
+        Plain Hydra never needs this (stale counts are overwritten by
+        group initialization, §4.6); the Hydra-NoGCT ablation uses it
+        at window boundaries, standing in for entry versioning.
+        """
+        self._counts = [0] * len(self._counts)

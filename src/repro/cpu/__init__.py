@@ -1,0 +1,20 @@
+"""CPU-side models: shared LLC and the core front-ends.
+
+Two core models are provided: :class:`LimitedMlpCore` (fixed in-flight
+window — the calibrated default for the paper sweeps) and
+:class:`OooCore` (ROB-occupancy-derived window, Table 2's 160-entry
+ROB / width-4 configuration).
+"""
+
+from repro.cpu.cache import CacheStats, LastLevelCache
+from repro.cpu.core import CoreRunResult, LimitedMlpCore
+from repro.cpu.ooo import OooCore, OooCoreParams
+
+__all__ = [
+    "CacheStats",
+    "CoreRunResult",
+    "LastLevelCache",
+    "LimitedMlpCore",
+    "OooCore",
+    "OooCoreParams",
+]

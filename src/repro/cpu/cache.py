@@ -1,0 +1,89 @@
+"""Shared last-level cache model (Table 2: 8 MB, 16-way, 64 B lines).
+
+Used by the workload tooling to turn address streams into memory-side
+miss streams (the traces the memory simulator consumes), and directly
+by examples that want an end-to-end core-to-DRAM path. Set-associative
+with LRU replacement and write-back/write-allocate semantics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+
+class LastLevelCache:
+    """Set-associative LRU cache, write-back / write-allocate."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = 8 * 1024 * 1024,
+        ways: int = 16,
+        line_bytes: int = 64,
+    ) -> None:
+        if capacity_bytes <= 0 or ways <= 0 or line_bytes <= 0:
+            raise ValueError("cache parameters must be positive")
+        lines = capacity_bytes // line_bytes
+        if lines < ways or lines % ways:
+            raise ValueError("capacity must hold a whole number of sets")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.sets = lines // ways
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(self.sets)
+        ]
+        self.stats = CacheStats()
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.sets * self.ways * self.line_bytes
+
+    def access(self, address: int, is_write: bool = False) -> Tuple[bool, Optional[int]]:
+        """Access one byte address.
+
+        Returns ``(hit, writeback_line_address)``: on a miss the line
+        is allocated, and if a dirty victim was displaced its line
+        address is returned so the caller can issue the writeback.
+        """
+        line_id = address // self.line_bytes
+        cache_set = self._sets[line_id % self.sets]
+        if line_id in cache_set:
+            self.stats.hits += 1
+            cache_set.move_to_end(line_id)
+            if is_write:
+                cache_set[line_id] = True
+            return True, None
+        self.stats.misses += 1
+        writeback: Optional[int] = None
+        if len(cache_set) >= self.ways:
+            victim_line, dirty = cache_set.popitem(last=False)
+            if dirty:
+                self.stats.writebacks += 1
+                writeback = victim_line * self.line_bytes
+        cache_set[line_id] = is_write
+        return False, writeback
+
+    def flush(self) -> int:
+        """Invalidate everything; returns the number of dirty lines."""
+        dirty = 0
+        for cache_set in self._sets:
+            dirty += sum(1 for d in cache_set.values() if d)
+            cache_set.clear()
+        return dirty

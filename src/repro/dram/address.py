@@ -1,0 +1,130 @@
+"""Physical-address decomposition and global row identifiers.
+
+The simulator mostly operates on *global row ids*: a dense integer
+``0 .. total_rows-1`` that uniquely names one DRAM row across the whole
+memory system. Trackers (Hydra's GCT/RCT, Graphene, CRA) are indexed by
+row id, and the memory controller turns a row id back into its
+(channel, rank, bank, row) coordinates for timing.
+
+The mapping follows the convention the paper relies on for efficient
+RCT group initialization: rows that share their most-significant bits
+belong to the same bank and are *consecutive* row indices there, so one
+GCT row-group (128 consecutive row ids) maps to 128 physically adjacent
+rows of a single bank, and its RCT entries occupy two adjacent 64 B
+lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.timing import DramGeometry
+
+
+@dataclass(frozen=True)
+class DramCoordinates:
+    """Fully decoded location of one DRAM row."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+
+    def __post_init__(self) -> None:
+        for name in ("channel", "rank", "bank", "row"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+class AddressMapper:
+    """Bijective mapping between global row ids and DRAM coordinates.
+
+    Layout (most-significant to least-significant in the row id):
+    ``channel | rank | bank | row``. Consecutive row ids therefore land
+    in the same bank, matching the paper's GCT indexing where the rows
+    of a row-group share their MSBs.
+    """
+
+    def __init__(self, geometry: DramGeometry) -> None:
+        self._geometry = geometry
+        self._rows_per_bank = geometry.rows_per_bank
+        self._rows_per_rank = geometry.rows_per_bank * geometry.banks_per_rank
+        self._rows_per_channel = self._rows_per_rank * geometry.ranks_per_channel
+
+    @property
+    def geometry(self) -> DramGeometry:
+        return self._geometry
+
+    @property
+    def total_rows(self) -> int:
+        return self._geometry.total_rows
+
+    def decode(self, row_id: int) -> DramCoordinates:
+        """Decode a global row id into (channel, rank, bank, row)."""
+        if not 0 <= row_id < self.total_rows:
+            raise ValueError(
+                f"row id {row_id} out of range [0, {self.total_rows})"
+            )
+        channel, rest = divmod(row_id, self._rows_per_channel)
+        rank, rest = divmod(rest, self._rows_per_rank)
+        bank, row = divmod(rest, self._rows_per_bank)
+        return DramCoordinates(channel=channel, rank=rank, bank=bank, row=row)
+
+    def encode(self, coords: DramCoordinates) -> int:
+        """Inverse of :meth:`decode`."""
+        geo = self._geometry
+        if not 0 <= coords.channel < geo.channels:
+            raise ValueError("channel out of range")
+        if not 0 <= coords.rank < geo.ranks_per_channel:
+            raise ValueError("rank out of range")
+        if not 0 <= coords.bank < geo.banks_per_rank:
+            raise ValueError("bank out of range")
+        if not 0 <= coords.row < geo.rows_per_bank:
+            raise ValueError("row out of range")
+        return (
+            coords.channel * self._rows_per_channel
+            + coords.rank * self._rows_per_rank
+            + coords.bank * self._rows_per_bank
+            + coords.row
+        )
+
+    def bank_index(self, row_id: int) -> int:
+        """Dense index of the bank (0 .. total_banks-1) holding a row."""
+        return row_id // self._rows_per_bank
+
+    def row_in_bank(self, row_id: int) -> int:
+        return row_id % self._rows_per_bank
+
+    def neighbors(self, row_id: int, blast_radius: int) -> list:
+        """Rows within ``blast_radius`` of an aggressor, same bank only.
+
+        Victim refresh targets these rows. Neighbours that would fall
+        off the edge of the bank are clipped (edge rows simply have
+        fewer neighbours).
+        """
+        if blast_radius < 0:
+            raise ValueError("blast_radius must be non-negative")
+        bank = self.bank_index(row_id)
+        local = self.row_in_bank(row_id)
+        base = bank * self._rows_per_bank
+        victims = []
+        for offset in range(-blast_radius, blast_radius + 1):
+            if offset == 0:
+                continue
+            candidate = local + offset
+            if 0 <= candidate < self._rows_per_bank:
+                victims.append(base + candidate)
+        return victims
+
+    def physical_address(self, row_id: int, column_byte: int = 0) -> int:
+        """Byte address of a location inside a row (row-major layout)."""
+        if not 0 <= column_byte < self._geometry.row_size_bytes:
+            raise ValueError("column offset out of range")
+        return row_id * self._geometry.row_size_bytes + column_byte
+
+    def row_of_address(self, address: int) -> int:
+        """Global row id containing a physical byte address."""
+        row_id = address // self._geometry.row_size_bytes
+        if not 0 <= row_id < self.total_rows:
+            raise ValueError("address outside memory capacity")
+        return row_id

@@ -1,0 +1,252 @@
+"""Event-driven DRAM bank, channel-bus, and refresh timing models.
+
+Rather than stepping a clock, every structure tracks the *times* at
+which it next becomes available. A memory access is resolved in O(1):
+the bank computes when the activate/column commands may legally issue
+(honouring tRC/tRCD/tRP and the rank's refresh blackouts), then the
+shared channel data bus serializes the burst transfers. This is the
+standard technique for fast bank-accurate (not cycle-accurate) DRAM
+simulation and preserves exactly the effects the Hydra evaluation
+depends on: bank row-cycle occupancy from extra activations and data
+bus pressure from extra metadata line transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dram.timing import DramTiming
+
+
+@dataclass
+class DramActivityStats:
+    """Command/activity counts used by the power model and reports."""
+
+    activations: int = 0
+    precharges: int = 0
+    read_lines: int = 0
+    write_lines: int = 0
+    row_buffer_hits: int = 0
+    row_buffer_misses: int = 0
+
+    def merge(self, other: "DramActivityStats") -> None:
+        self.activations += other.activations
+        self.precharges += other.precharges
+        self.read_lines += other.read_lines
+        self.write_lines += other.write_lines
+        self.row_buffer_hits += other.row_buffer_hits
+        self.row_buffer_misses += other.row_buffer_misses
+
+    @property
+    def total_lines(self) -> int:
+        return self.read_lines + self.write_lines
+
+
+class RefreshTimeline:
+    """Per-rank all-bank refresh: one REF every tREFI, lasting tRFC.
+
+    The blackout is modelled at the start of every tREFI interval;
+    :meth:`adjust` pushes a command time out of any blackout it lands
+    in. Deterministic and O(1).
+    """
+
+    def __init__(self, timing: DramTiming) -> None:
+        self._t_refi = timing.t_refi
+        self._t_rfc = timing.t_rfc
+
+    def adjust(self, at: float) -> float:
+        """Earliest time >= ``at`` that is outside a refresh blackout."""
+        if at < 0:
+            at = 0.0
+        offset = at % self._t_refi
+        if offset < self._t_rfc:
+            return at + (self._t_rfc - offset)
+        return at
+
+    def refreshes_before(self, at: float) -> int:
+        """Number of REF commands issued in [0, at)."""
+        if at <= 0:
+            return 0
+        return int(at // self._t_refi)
+
+    def blackout_fraction(self) -> float:
+        return self._t_rfc / self._t_refi
+
+
+class RankActWindow:
+    """Rank-level activation constraints: tFAW and tRRD.
+
+    tFAW: at most 4 ACTs per rank in any tFAW window. tRRD: minimum
+    spacing between consecutive ACTs on a rank (any banks). Shared by
+    all banks of the rank. Each constraint is disabled at 0.
+    """
+
+    __slots__ = ("t_faw", "t_rrd", "_recent", "_last_act")
+
+    WINDOW_ACTS = 4
+
+    def __init__(self, t_faw: float, t_rrd: float = 0.0) -> None:
+        if t_faw < 0 or t_rrd < 0:
+            raise ValueError("timings must be non-negative")
+        self.t_faw = t_faw
+        self.t_rrd = t_rrd
+        self._recent: list = []
+        self._last_act: float = float("-inf")
+
+    def constrain(self, at: float) -> float:
+        """Earliest time >= ``at`` an ACT may issue on this rank."""
+        if self.t_rrd > 0:
+            earliest = self._last_act + self.t_rrd
+            if earliest > at:
+                at = earliest
+        if self.t_faw > 0 and len(self._recent) >= self.WINDOW_ACTS:
+            earliest = self._recent[-self.WINDOW_ACTS] + self.t_faw
+            if earliest > at:
+                at = earliest
+        return at
+
+    def record(self, act_time: float) -> None:
+        if self.t_rrd > 0 and act_time > self._last_act:
+            self._last_act = act_time
+        if self.t_faw <= 0:
+            return
+        self._recent.append(act_time)
+        if len(self._recent) > self.WINDOW_ACTS:
+            del self._recent[: -self.WINDOW_ACTS]
+
+
+class ChannelBus:
+    """Shared data bus of one channel: serializes 64 B burst transfers."""
+
+    def __init__(self, timing: DramTiming) -> None:
+        self._t_burst = timing.t_burst
+        self.free_at: float = 0.0
+        self.busy_time: float = 0.0
+
+    def transfer(self, earliest: float, n_lines: int) -> float:
+        """Occupy the bus for ``n_lines`` back-to-back bursts.
+
+        Returns the completion time of the last beat.
+        """
+        if n_lines <= 0:
+            return earliest
+        start = max(earliest, self.free_at)
+        duration = n_lines * self._t_burst
+        self.free_at = start + duration
+        self.busy_time += duration
+        return self.free_at
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+
+@dataclass
+class AccessResult:
+    """Timing outcome of one row-level access."""
+
+    #: When the access's data transfer completed (request is done).
+    completion: float
+    #: Whether an activate was needed (row-buffer miss).
+    activated: bool
+    #: Time at which the activate (if any) was issued.
+    act_time: float
+
+
+class Bank:
+    """One DRAM bank: open-row state plus next-command availability."""
+
+    def __init__(
+        self,
+        timing: DramTiming,
+        refresh: RefreshTimeline,
+        act_window: Optional["RankActWindow"] = None,
+    ) -> None:
+        self._timing = timing
+        self._refresh = refresh
+        self._act_window = act_window
+        self.open_row: Optional[int] = None
+        #: Earliest time the next ACT may issue (last ACT + tRC).
+        self._next_act_at: float = 0.0
+        #: Time at which the currently open row becomes column-accessible.
+        self._row_ready_at: float = 0.0
+        self.stats = DramActivityStats()
+
+    def access(
+        self,
+        at: float,
+        row: int,
+        n_lines: int,
+        bus: ChannelBus,
+        is_write: bool = False,
+    ) -> AccessResult:
+        """Perform an access of ``n_lines`` 64 B lines within ``row``.
+
+        Returns timing info; updates bank state and activity stats.
+        """
+        if n_lines < 1:
+            raise ValueError("n_lines must be >= 1")
+        t = self._refresh.adjust(at)
+        timing = self._timing
+        if self.open_row == row:
+            self.stats.row_buffer_hits += 1
+            col_start = max(t, self._row_ready_at)
+            activated = False
+            act_time = self._next_act_at - timing.t_rc
+        else:
+            self.stats.row_buffer_misses += 1
+            act_at = max(t, self._next_act_at)
+            if self.open_row is not None:
+                # Close the old row first (PRE), then activate.
+                act_at = max(act_at, self._row_ready_at) + timing.t_rp
+                self.stats.precharges += 1
+            act_at = self._refresh.adjust(act_at)
+            if self._act_window is not None:
+                act_at = self._act_window.constrain(act_at)
+                self._act_window.record(act_at)
+            self.open_row = row
+            self._next_act_at = act_at + timing.t_rc
+            self._row_ready_at = act_at + timing.t_rcd
+            self.stats.activations += 1
+            col_start = self._row_ready_at
+            activated = True
+            act_time = act_at
+        first_data = col_start + timing.t_cas
+        completion = bus.transfer(first_data, n_lines)
+        if is_write:
+            self.stats.write_lines += n_lines
+        else:
+            self.stats.read_lines += n_lines
+        return AccessResult(
+            completion=completion, activated=activated, act_time=act_time
+        )
+
+    def refresh_row(self, at: float) -> float:
+        """Victim-refresh one row: an ACT/PRE cycle with no data burst.
+
+        The row is left closed. Returns the time the bank becomes free
+        again (ACT + tRC).
+        """
+        timing = self._timing
+        act_at = max(self._refresh.adjust(at), self._next_act_at)
+        if self.open_row is not None:
+            act_at = self._refresh.adjust(
+                max(act_at, self._row_ready_at) + timing.t_rp
+            )
+            self.stats.precharges += 1
+        if self._act_window is not None:
+            act_at = self._act_window.constrain(act_at)
+            self._act_window.record(act_at)
+        self.stats.activations += 1
+        self._next_act_at = act_at + timing.t_rc
+        self._row_ready_at = act_at + timing.t_rcd
+        self.open_row = None
+        return act_at + timing.t_rc
+
+    def precharge_all(self) -> None:
+        """Close the open row (used at window boundaries in tests)."""
+        if self.open_row is not None:
+            self.stats.precharges += 1
+        self.open_row = None

@@ -1,0 +1,48 @@
+"""DDR5 presets (Table 5's second column).
+
+DDR5 doubles the banks per rank (16 -> 32), which doubles the storage
+of every per-bank tracker (Graphene/TWiCE/CAT) while leaving Hydra's
+row-count-proportional structures untouched — the paper's Table 5
+argument. Timing-wise DDR5 shortens tREFI (more frequent, finer
+refresh) and keeps the same order of row-cycle time; the constants
+here are representative JEDEC DDR5-4800 values.
+
+These presets exist so the whole simulation stack (trackers,
+controller, workload generation) can run on a DDR5-shaped system; see
+``tests/dram/test_ddr5.py`` and the Table 5 benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.dram.timing import DramGeometry, DramTiming
+
+#: 32 GB DDR5 system: 2 channels x 1 rank x 32 banks, 8 KB rows.
+DDR5_GEOMETRY = DramGeometry(
+    channels=2,
+    ranks_per_channel=1,
+    banks_per_rank=32,
+    rows_per_bank=65536,
+    row_size_bytes=8192,
+    line_size_bytes=64,
+)
+
+#: Representative DDR5-4800 timing: same-order row timings, finer
+#: refresh (tREFI halves; per-command tRFC shrinks with same-bank
+#: refresh), faster burst (2.5 ns -> 1.25 ns for 64 B at 4.8 GT/s).
+DDR5_TIMING = DramTiming(
+    t_rcd=14.0,
+    t_rp=14.0,
+    t_cas=14.0,
+    t_rc=46.0,
+    t_rfc=295.0,
+    t_refi=3900.0,
+    t_burst=1.25,
+    refresh_window=64.0 * 1_000_000.0,
+)
+
+
+def ddr5_system(scale: float = 1.0):
+    """(geometry, timing) for a possibly scaled DDR5 system."""
+    if scale == 1.0:
+        return DDR5_GEOMETRY, DDR5_TIMING
+    return DDR5_GEOMETRY.scaled(scale), DDR5_TIMING.scaled(scale)

@@ -1,0 +1,137 @@
+"""Micron IDD-style DRAM power model (paper §6.8).
+
+The model follows the structure of Micron's DDR4 power calculator: a
+rank's power is the sum of a background term plus per-event energies
+for activate/precharge pairs, read/write bursts, and refresh commands.
+Event counts come from :class:`repro.dram.bank.DramActivityStats`.
+
+Absolute constants are representative DDR4 x8 datasheet values; the
+reproduction only relies on *relative* power (the share of DRAM power
+contributed by Hydra's extra RCT traffic and mitigations, which the
+paper reports as ~0.2%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.bank import DramActivityStats
+from repro.dram.timing import DramTiming
+
+
+@dataclass(frozen=True)
+class DramPowerParams:
+    """IDD currents (amps per chip) and rank composition."""
+
+    vdd: float = 1.2
+    #: One ACT/PRE cycle at max rate.
+    idd0: float = 0.055
+    #: Precharge standby (background).
+    idd2n: float = 0.037
+    #: Read burst.
+    idd4r: float = 0.180
+    #: Write burst.
+    idd4w: float = 0.165
+    #: Burst refresh.
+    idd5b: float = 0.190
+    #: x8 chips per rank.
+    chips_per_rank: int = 8
+
+    def __post_init__(self) -> None:
+        if self.chips_per_rank <= 0:
+            raise ValueError("chips_per_rank must be positive")
+        if not self.idd2n <= self.idd0:
+            raise ValueError("IDD0 must exceed IDD2N")
+
+
+@dataclass(frozen=True)
+class DramPowerReport:
+    """Energy breakdown (joules) and average power (watts) of one run."""
+
+    background_energy: float
+    activate_energy: float
+    read_energy: float
+    write_energy: float
+    refresh_energy: float
+    elapsed_ns: float
+
+    @property
+    def dynamic_energy(self) -> float:
+        return (
+            self.activate_energy
+            + self.read_energy
+            + self.write_energy
+            + self.refresh_energy
+        )
+
+    @property
+    def total_energy(self) -> float:
+        return self.background_energy + self.dynamic_energy
+
+    @property
+    def average_power(self) -> float:
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.total_energy / (self.elapsed_ns * 1e-9)
+
+
+class DramPowerModel:
+    """Computes rank energy from activity counts."""
+
+    def __init__(
+        self,
+        timing: DramTiming,
+        params: DramPowerParams = DramPowerParams(),
+    ) -> None:
+        self._timing = timing
+        self._params = params
+        chips = params.chips_per_rank
+        vdd = params.vdd
+        # Per-event energies, whole-rank (joules).
+        self.energy_per_act = (
+            vdd * (params.idd0 - params.idd2n) * timing.t_rc * 1e-9 * chips
+        )
+        self.energy_per_read_line = (
+            vdd * (params.idd4r - params.idd2n) * timing.t_burst * 1e-9 * chips
+        )
+        self.energy_per_write_line = (
+            vdd * (params.idd4w - params.idd2n) * timing.t_burst * 1e-9 * chips
+        )
+        self.energy_per_refresh = (
+            vdd * (params.idd5b - params.idd2n) * timing.t_rfc * 1e-9 * chips
+        )
+        self.background_power = vdd * params.idd2n * chips
+
+    def report(
+        self,
+        stats: DramActivityStats,
+        elapsed_ns: float,
+        n_refreshes: int,
+        n_ranks: int = 1,
+    ) -> DramPowerReport:
+        """Energy breakdown for ``n_ranks`` ranks sharing the stats."""
+        if elapsed_ns < 0:
+            raise ValueError("elapsed_ns must be non-negative")
+        if n_refreshes < 0:
+            raise ValueError("n_refreshes must be non-negative")
+        return DramPowerReport(
+            background_energy=self.background_power
+            * (elapsed_ns * 1e-9)
+            * n_ranks,
+            activate_energy=self.energy_per_act * stats.activations,
+            read_energy=self.energy_per_read_line * stats.read_lines,
+            write_energy=self.energy_per_write_line * stats.write_lines,
+            refresh_energy=self.energy_per_refresh * n_refreshes,
+            elapsed_ns=elapsed_ns,
+        )
+
+
+def power_overhead_percent(
+    baseline: DramPowerReport, with_tracker: DramPowerReport
+) -> float:
+    """Percent extra DRAM power a tracker costs over the baseline."""
+    if baseline.average_power <= 0:
+        return 0.0
+    return 100.0 * (
+        with_tracker.average_power / baseline.average_power - 1.0
+    )

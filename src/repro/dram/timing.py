@@ -1,0 +1,187 @@
+"""DDR4 timing parameters and derived quantities.
+
+All times are expressed in nanoseconds as floats. The defaults follow
+Table 2 of the Hydra paper (JEDEC DDR4, industrial 16Gb x8 chips):
+tRCD = tRP = tCAS = 14 ns, tRC = 45 ns, tRFC = 350 ns, and a 64 ms
+refresh window. The memory bus runs at 1.6 GHz (3.2 GT/s DDR), so a
+64-byte line transfer occupies the data bus for 2.5 ns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Nanoseconds per millisecond, for readability of window arithmetic.
+NS_PER_MS = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """JEDEC-style DRAM timing set used by the bank state machines.
+
+    The simulator is event driven, so only the parameters that bound
+    command-to-command spacing at the granularity we model are kept.
+    """
+
+    #: Row-to-column delay: ACT -> first RD/WR to the opened row.
+    t_rcd: float = 14.0
+    #: Precharge time: PRE -> next ACT on the same bank.
+    t_rp: float = 14.0
+    #: CAS latency: RD -> first data beat.
+    t_cas: float = 14.0
+    #: Row cycle: minimum spacing between two ACTs to the same bank.
+    t_rc: float = 45.0
+    #: Refresh cycle: one REF blocks the rank for this long.
+    t_rfc: float = 350.0
+    #: Average refresh interval: one REF per rank every t_refi.
+    t_refi: float = 7800.0
+    #: Data-bus occupancy of one 64B burst (4 cycles @ 1.6GHz DDR).
+    t_burst: float = 2.5
+    #: Retention / tracker reset window ("refresh period").
+    refresh_window: float = 64.0 * NS_PER_MS
+    #: Four-activate window: at most 4 ACTs per rank within t_faw.
+    #: 0 disables the constraint (the default — the paper's analysis
+    #: uses per-bank tRC limits only; see §2.1).
+    t_faw: float = 0.0
+    #: Minimum rank-level ACT-to-ACT spacing (tRRD). 0 disables.
+    t_rrd: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "t_rcd",
+            "t_rp",
+            "t_cas",
+            "t_rc",
+            "t_rfc",
+            "t_refi",
+            "t_burst",
+            "refresh_window",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.t_rfc >= self.t_refi:
+            raise ValueError("t_rfc must be smaller than t_refi")
+        if self.t_faw < 0:
+            raise ValueError("t_faw must be non-negative (0 disables)")
+        if self.t_rrd < 0:
+            raise ValueError("t_rrd must be non-negative (0 disables)")
+
+    @property
+    def refresh_duty(self) -> float:
+        """Fraction of time a rank spends refreshing."""
+        return self.t_rfc / self.t_refi
+
+    def max_activations_per_window(self) -> int:
+        """Maximum ACTs one bank can receive in one refresh window.
+
+        This is the paper's ``ACT_max`` (~1.36 million for DDR4 at a
+        64 ms window): back-to-back ACTs every tRC, after discounting
+        the time the rank is busy refreshing.
+        """
+        usable = self.refresh_window * (1.0 - self.refresh_duty)
+        return int(usable // self.t_rc)
+
+    def scaled(self, window_scale: float) -> "DramTiming":
+        """Return a copy with the refresh window scaled by ``window_scale``.
+
+        Used by the scaled-system methodology (DESIGN.md §3): command
+        timings are physical constants and stay fixed; only the
+        tracking/refresh window shrinks.
+        """
+        if window_scale <= 0:
+            raise ValueError("window_scale must be positive")
+        return DramTiming(
+            t_rcd=self.t_rcd,
+            t_rp=self.t_rp,
+            t_cas=self.t_cas,
+            t_rc=self.t_rc,
+            t_rfc=self.t_rfc,
+            t_refi=self.t_refi,
+            t_burst=self.t_burst,
+            refresh_window=self.refresh_window * window_scale,
+            t_faw=self.t_faw,
+            t_rrd=self.t_rrd,
+        )
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Physical organization of the memory system.
+
+    Defaults model the paper's 32 GB dual-channel DDR4 system:
+    2 channels x 1 rank x 16 banks, 8 KB rows, for 4M rows total.
+    """
+
+    channels: int = 2
+    ranks_per_channel: int = 1
+    banks_per_rank: int = 16
+    rows_per_bank: int = 131072
+    row_size_bytes: int = 8192
+    line_size_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        for name in (
+            "channels",
+            "ranks_per_channel",
+            "banks_per_rank",
+            "rows_per_bank",
+            "row_size_bytes",
+            "line_size_bytes",
+        ):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.row_size_bytes % self.line_size_bytes:
+            raise ValueError("row size must be a multiple of line size")
+
+    @property
+    def total_banks(self) -> int:
+        return self.channels * self.ranks_per_channel * self.banks_per_rank
+
+    @property
+    def total_rows(self) -> int:
+        return self.total_banks * self.rows_per_bank
+
+    @property
+    def rows_per_rank(self) -> int:
+        return self.banks_per_rank * self.rows_per_bank
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.total_rows * self.row_size_bytes
+
+    @property
+    def lines_per_row(self) -> int:
+        return self.row_size_bytes // self.line_size_bytes
+
+    def scaled(self, row_scale: float) -> "DramGeometry":
+        """Shrink rows-per-bank and the row size by ``row_scale``.
+
+        Channel/rank/bank counts are preserved so per-bank activation
+        rates and bank-level parallelism are unchanged. The row size
+        shrinks alongside the row count so *structural ratios* hold:
+        counters-per-metadata-row, metadata-rows-per-bank, and
+        metadata-lines-per-row all keep their full-scale proportions,
+        which keeps the row-buffer behaviour of tracker metadata
+        traffic faithful at reduced scale (DESIGN.md §3).
+        """
+        rows = max(1, int(self.rows_per_bank * row_scale))
+        # Keep sizes powers of two so address slicing stays exact.
+        rows = 1 << max(0, math.ceil(math.log2(rows)))
+        row_bytes = max(self.line_size_bytes, int(self.row_size_bytes * row_scale))
+        row_bytes = 1 << max(0, math.ceil(math.log2(row_bytes)))
+        return DramGeometry(
+            channels=self.channels,
+            ranks_per_channel=self.ranks_per_channel,
+            banks_per_rank=self.banks_per_rank,
+            rows_per_bank=rows,
+            row_size_bytes=row_bytes,
+            line_size_bytes=self.line_size_bytes,
+        )
+
+
+#: The paper's baseline 32 GB system (Table 2).
+PAPER_GEOMETRY = DramGeometry()
+#: The paper's DDR4 timing set (Table 2).
+PAPER_TIMING = DramTiming()

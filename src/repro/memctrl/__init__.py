@@ -1,0 +1,28 @@
+"""Memory-controller layer: scheduling, tracker hook, mitigation.
+
+Two controllers share the tracker/mitigation machinery:
+:class:`MemoryController` resolves requests in arrival order (fast,
+used for the paper sweeps) and :class:`QueuedMemoryController` models
+explicit FR-FCFS read queues and a watermark-drained write queue.
+"""
+
+from repro.memctrl.controller import ControllerStats, MemoryController
+from repro.memctrl.mitigation import MitigationStats, VictimRefreshPolicy
+from repro.memctrl.queued import (
+    QueuedMemoryController,
+    QueuedRunResult,
+    QueuedStats,
+)
+from repro.memctrl.rowswap import RowIndirectionTable, RowSwapController
+
+__all__ = [
+    "ControllerStats",
+    "MemoryController",
+    "MitigationStats",
+    "QueuedMemoryController",
+    "QueuedRunResult",
+    "QueuedStats",
+    "RowIndirectionTable",
+    "RowSwapController",
+    "VictimRefreshPolicy",
+]

@@ -1,0 +1,221 @@
+"""Memory controller: demand scheduling + tracker hook + mitigation.
+
+This is the component Hydra lives in (Figure 3). Responsibilities:
+
+- route each demand access to its bank and channel bus and resolve its
+  timing (the event-driven equivalent of USIMM's scheduler);
+- consult the activation tracker on **every** activation — demand,
+  metadata, or victim refresh (§5.2.1 requires mitigation-induced
+  activations to be counted too);
+- perform the metadata traffic trackers request (RCT/CRA counter line
+  reads and writebacks) — off the demand critical path, but consuming
+  bank row-cycles and bus slots, which is precisely how tracking
+  slowdown arises (§5.3);
+- execute victim-refresh mitigations through the blast-radius policy;
+- reset the tracker every tracking window (64 ms, or window/2 for
+  D-CBF's filter rotation).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dram.address import AddressMapper
+from repro.dram.bank import (
+    Bank,
+    ChannelBus,
+    DramActivityStats,
+    RankActWindow,
+    RefreshTimeline,
+)
+from repro.dram.timing import DramGeometry, DramTiming
+from repro.interfaces import ActivationTracker, NullTracker
+from repro.memctrl.mitigation import VictimRefreshPolicy
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate accounting of one controller's activity."""
+
+    demand_accesses: int = 0
+    demand_line_transfers: int = 0
+    meta_accesses: int = 0
+    meta_line_transfers: int = 0
+    victim_refreshes: int = 0
+    tracker_activations: int = 0
+    window_resets: int = 0
+    total_delay_ns: float = 0.0
+
+
+class MemoryController:
+    """Two-channel DDR4 controller with pluggable RowHammer tracking."""
+
+    def __init__(
+        self,
+        geometry: DramGeometry,
+        timing: DramTiming,
+        tracker: Optional[ActivationTracker] = None,
+        blast_radius: int = 2,
+        count_mitigation_acts: bool = True,
+        defer_meta_writes: bool = True,
+        max_feedback_depth: int = 4,
+    ) -> None:
+        self.geometry = geometry
+        self.timing = timing
+        self.tracker = tracker if tracker is not None else NullTracker()
+        self.mapper = AddressMapper(geometry)
+        self.refresh = RefreshTimeline(timing)
+        n_ranks = geometry.channels * geometry.ranks_per_channel
+        self.rank_windows = [
+            RankActWindow(timing.t_faw, timing.t_rrd) for _ in range(n_ranks)
+        ]
+        self.banks = [
+            Bank(
+                timing,
+                self.refresh,
+                act_window=self.rank_windows[
+                    index // geometry.banks_per_rank
+                ],
+            )
+            for index in range(geometry.total_banks)
+        ]
+        self.buses = [ChannelBus(timing) for _ in range(geometry.channels)]
+        self.policy = VictimRefreshPolicy(self.mapper, blast_radius)
+        self.count_mitigation_acts = count_mitigation_acts
+        #: Writes sit in the write queue and drain with lower priority
+        #: than reads (USIMM prioritizes reads, Table 2 text). Deferred
+        #: writes cost data-bus slots but their bank occupancy overlaps
+        #: idle periods, so they are modelled as bus-only traffic.
+        self.defer_meta_writes = defer_meta_writes
+        #: Mitigation-induced activations are re-tracked (§5.2.1) up
+        #: to this chain depth. Depth 4 covers Half-Double-style
+        #: second-ring effects with margin; an unbounded chain only
+        #: arises for pathological degraded trackers (mitigate-every-
+        #: activation modes), where hardware would rate-limit too.
+        if max_feedback_depth < 1:
+            raise ValueError("max_feedback_depth must be >= 1")
+        self.max_feedback_depth = max_feedback_depth
+        self.stats = ControllerStats()
+        self._rows_per_bank = geometry.rows_per_bank
+        self._banks_per_channel = (
+            geometry.ranks_per_channel * geometry.banks_per_rank
+        )
+        reset_divisor = getattr(self.tracker, "reset_divisor", 1)
+        self._reset_period = timing.refresh_window / reset_divisor
+        self._next_reset = self._reset_period
+        self.end_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Demand path
+    # ------------------------------------------------------------------
+
+    def access(
+        self, at: float, row_id: int, n_lines: int = 1, is_write: bool = False
+    ) -> float:
+        """One demand access of ``n_lines`` lines; returns completion time."""
+        if at >= self._next_reset:
+            self._advance_window(at)
+        bank_index = row_id // self._rows_per_bank
+        bank = self.banks[bank_index]
+        bus = self.buses[bank_index // self._banks_per_channel]
+        result = bank.access(
+            at, row_id % self._rows_per_bank, n_lines, bus, is_write
+        )
+        self.stats.demand_accesses += 1
+        self.stats.demand_line_transfers += n_lines
+        completion = result.completion
+        if result.activated:
+            delay = self._report_activation(row_id, result.act_time)
+            if delay:
+                completion += delay
+                self.stats.total_delay_ns += delay
+        if completion > self.end_time:
+            self.end_time = completion
+        return completion
+
+    # ------------------------------------------------------------------
+    # Tracker feedback loop
+    # ------------------------------------------------------------------
+
+    def _report_activation(self, row_id: int, at: float) -> float:
+        """Feed activations into the tracker, performing any follow-up.
+
+        Metadata accesses and victim refreshes requested by the tracker
+        are executed immediately (off the demand critical path); any
+        activations *they* cause are fed back, so mitigation-induced
+        hammering (Half-Double, §5.2.1) and metadata-row hammering
+        (§5.2.2) are both visible to the tracker. The worklist is
+        naturally bounded: each feedback activation needs ~T_H prior
+        activations to trigger further work.
+        """
+        delay = 0.0
+        pending = deque(((row_id, 0),))
+        while pending:
+            row, depth = pending.popleft()
+            self.stats.tracker_activations += 1
+            response = self.tracker.on_activation(row)
+            if response is None:
+                continue
+            delay += response.delay_ns
+            for meta in response.meta_accesses:
+                meta_bank_index = meta.row_id // self._rows_per_bank
+                meta_bus = self.buses[
+                    meta_bank_index // self._banks_per_channel
+                ]
+                self.stats.meta_accesses += 1
+                self.stats.meta_line_transfers += meta.n_lines
+                if meta.is_write and self.defer_meta_writes:
+                    meta_bus.transfer(at, meta.n_lines)
+                    continue
+                meta_result = self.banks[meta_bank_index].access(
+                    at,
+                    meta.row_id % self._rows_per_bank,
+                    meta.n_lines,
+                    meta_bus,
+                    meta.is_write,
+                )
+                if meta_result.activated and depth < self.max_feedback_depth:
+                    pending.append((meta.row_id, depth + 1))
+            for aggressor in response.mitigate_rows:
+                for victim in self.policy.victims_of(aggressor):
+                    victim_bank = self.banks[victim // self._rows_per_bank]
+                    victim_bank.refresh_row(at)
+                    self.stats.victim_refreshes += 1
+                    if (
+                        self.count_mitigation_acts
+                        and depth < self.max_feedback_depth
+                    ):
+                        pending.append((victim, depth + 1))
+        return delay
+
+    # ------------------------------------------------------------------
+    # Window management and reporting
+    # ------------------------------------------------------------------
+
+    def _advance_window(self, at: float) -> None:
+        while at >= self._next_reset:
+            self.tracker.on_window_reset()
+            self.stats.window_resets += 1
+            self._next_reset += self._reset_period
+
+    def activity(self) -> DramActivityStats:
+        """Merged command counts across all banks."""
+        merged = DramActivityStats()
+        for bank in self.banks:
+            merged.merge(bank.stats)
+        return merged
+
+    def total_refreshes(self, until: Optional[float] = None) -> int:
+        """REF commands issued to all ranks by ``until`` (power model)."""
+        horizon = self.end_time if until is None else until
+        per_rank = self.refresh.refreshes_before(horizon)
+        return per_rank * self.geometry.channels * self.geometry.ranks_per_channel
+
+    def bus_utilization(self) -> float:
+        if self.end_time <= 0:
+            return 0.0
+        return sum(bus.busy_time for bus in self.buses) / (
+            self.end_time * len(self.buses)
+        )

@@ -1,0 +1,45 @@
+"""Victim-refresh mitigation (paper §4.7).
+
+Hydra (like Graphene and CRA here) is only a *tracker*; the mitigating
+action is refreshing the aggressor's neighbours. The blast radius N
+(rows refreshed on each side) defaults to 2, following the paper's
+response to Half-Double-style distance-2 coupling.
+
+A victim refresh is itself an activation of the victim row, so —
+crucially for §5.2.1 security — the engine reports every refresh it
+performs back to the caller so those activations can be fed into the
+tracker like any others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.dram.address import AddressMapper
+
+
+@dataclass
+class MitigationStats:
+    """Counts of mitigation work performed."""
+
+    mitigations: int = 0
+    victim_refreshes: int = 0
+
+
+class VictimRefreshPolicy:
+    """Translates "mitigate row R" into the victim rows to refresh."""
+
+    def __init__(self, mapper: AddressMapper, blast_radius: int = 2) -> None:
+        if blast_radius < 0:
+            raise ValueError("blast_radius must be non-negative")
+        self.mapper = mapper
+        self.blast_radius = blast_radius
+        self.stats = MitigationStats()
+
+    def victims_of(self, aggressor_row: int) -> List[int]:
+        """Rows to refresh for one mitigation of ``aggressor_row``."""
+        self.stats.mitigations += 1
+        victims = self.mapper.neighbors(aggressor_row, self.blast_radius)
+        self.stats.victim_refreshes += len(victims)
+        return victims

@@ -1,0 +1,321 @@
+"""Queued memory controller: FR-FCFS arbitration + write-queue drain.
+
+The fast controller (:mod:`repro.memctrl.controller`) resolves each
+request immediately in arrival order — ideal for large sweeps. This
+discrete-event variant models the scheduling machinery USIMM has and
+the fast path abstracts:
+
+- per-channel **read queues** arbitrated FR-FCFS: row-buffer hits are
+  served before older row misses (first-ready, first-come-first-serve);
+- an explicit per-channel **write queue**: writes (demand writebacks
+  and tracker metadata writes) buffer and drain either when the read
+  queue is empty (opportunistic) or when the queue crosses its high
+  watermark (forced, blocking reads until the low watermark) — the
+  "prioritizes read requests over write requests" behaviour of
+  Table 2's controller;
+- a closed admission loop: at most ``mlp`` demand requests are
+  outstanding, so added queueing latency feeds back into throughput.
+
+Tracker integration matches the fast controller: every activation
+(demand, metadata read, victim refresh) is reported; tracker metadata
+reads enter the read queue, metadata writes the write queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+from repro.dram.address import AddressMapper
+from repro.dram.bank import Bank, ChannelBus, RankActWindow, RefreshTimeline
+from repro.dram.timing import DramGeometry, DramTiming
+from repro.interfaces import ActivationTracker, NullTracker
+from repro.memctrl.mitigation import VictimRefreshPolicy
+
+
+@dataclass
+class _Request:
+    arrival: float
+    row_id: int
+    n_lines: int
+    is_write: bool
+    #: Demand requests complete an MLP slot; metadata ones do not.
+    slot: Optional[int] = None
+    completion: float = 0.0
+
+
+@dataclass
+class QueuedStats:
+    demand_requests: int = 0
+    read_queue_peak: int = 0
+    write_queue_peak: int = 0
+    forced_write_drains: int = 0
+    opportunistic_writes: int = 0
+    row_hit_first_picks: int = 0
+    meta_reads: int = 0
+    meta_writes: int = 0
+    victim_refreshes: int = 0
+    window_resets: int = 0
+
+
+@dataclass
+class QueuedRunResult:
+    end_time_ns: float
+    requests: int
+    total_latency_ns: float
+    stats: QueuedStats
+
+    @property
+    def average_latency_ns(self) -> float:
+        return self.total_latency_ns / self.requests if self.requests else 0.0
+
+
+class QueuedMemoryController:
+    """Discrete-event controller with explicit queues."""
+
+    def __init__(
+        self,
+        geometry: DramGeometry,
+        timing: DramTiming,
+        tracker: Optional[ActivationTracker] = None,
+        blast_radius: int = 2,
+        write_queue_high: int = 32,
+        write_queue_low: int = 8,
+        max_feedback_depth: int = 4,
+    ) -> None:
+        if not 0 <= write_queue_low < write_queue_high:
+            raise ValueError("need 0 <= low watermark < high watermark")
+        self.geometry = geometry
+        self.timing = timing
+        self.tracker = tracker if tracker is not None else NullTracker()
+        self.mapper = AddressMapper(geometry)
+        self.refresh = RefreshTimeline(timing)
+        n_ranks = geometry.channels * geometry.ranks_per_channel
+        self.rank_windows = [
+            RankActWindow(timing.t_faw, timing.t_rrd) for _ in range(n_ranks)
+        ]
+        self.banks = [
+            Bank(
+                timing,
+                self.refresh,
+                act_window=self.rank_windows[
+                    index // geometry.banks_per_rank
+                ],
+            )
+            for index in range(geometry.total_banks)
+        ]
+        self.buses = [ChannelBus(timing) for _ in range(geometry.channels)]
+        self.policy = VictimRefreshPolicy(self.mapper, blast_radius)
+        self.write_queue_high = write_queue_high
+        self.write_queue_low = write_queue_low
+        self.max_feedback_depth = max_feedback_depth
+        self._rows_per_bank = geometry.rows_per_bank
+        self._banks_per_channel = (
+            geometry.ranks_per_channel * geometry.banks_per_rank
+        )
+        reset_divisor = getattr(self.tracker, "reset_divisor", 1)
+        self._reset_period = timing.refresh_window / reset_divisor
+        self._next_reset = self._reset_period
+        self._read_queues: List[List[_Request]] = [
+            [] for _ in range(geometry.channels)
+        ]
+        self._write_queues: List[Deque[_Request]] = [
+            deque() for _ in range(geometry.channels)
+        ]
+        self.stats = QueuedStats()
+        self.end_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Closed-loop trace execution
+    # ------------------------------------------------------------------
+
+    def run_trace(self, trace, mlp: int = 16) -> QueuedRunResult:
+        """Replay a trace with at most ``mlp`` outstanding requests.
+
+        Requests are admitted in batches of up to ``mlp`` (the
+        outstanding window), queued, then serviced by the FR-FCFS
+        scheduler — so row-hit reordering among in-flight requests
+        actually happens, unlike the fast controller's in-order
+        resolution.
+        """
+        if mlp <= 0:
+            raise ValueError("mlp must be positive")
+        iterator = iter(trace)
+        window = [0.0] * mlp
+        issue = 0.0
+        total_latency = 0.0
+        count = 0
+        exhausted = False
+        while not exhausted:
+            batch: List[_Request] = []
+            while len(batch) < mlp:
+                item = next(iterator, None)
+                if item is None:
+                    exhausted = True
+                    break
+                gap_ns, row_id, n_lines, is_write = item
+                slot = count % mlp
+                earliest = issue + gap_ns
+                start = window[slot] if window[slot] > earliest else earliest
+                issue = start
+                if start >= self._next_reset:
+                    self._advance_window(start)
+                self.stats.demand_requests += 1
+                request = _Request(start, row_id, n_lines, is_write, slot=slot)
+                count += 1
+                channel = self._channel_of(row_id)
+                if is_write:
+                    self._write_queues[channel].append(request)
+                    self._note_write_peak(channel)
+                    window[slot] = start  # writes retire into the queue
+                else:
+                    self._read_queues[channel].append(request)
+                    batch.append(request)
+                    depth = len(self._read_queues[channel])
+                    if depth > self.stats.read_queue_peak:
+                        self.stats.read_queue_peak = depth
+            # Service phase: drain all read queues, then bleed writes.
+            for channel in range(len(self._read_queues)):
+                now = issue
+                while self._read_queues[channel]:
+                    now = self._service_one_read(channel, now)
+                self._maybe_drain_writes(channel, now, forced_only=False)
+            for request in batch:
+                window[request.slot] = request.completion
+                total_latency += request.completion - request.arrival
+        end = max(window) if count else 0.0
+        if end > self.end_time:
+            self.end_time = end
+        return QueuedRunResult(
+            end_time_ns=end,
+            requests=count,
+            total_latency_ns=total_latency,
+            stats=self.stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def _channel_of(self, row_id: int) -> int:
+        return (row_id // self._rows_per_bank) // self._banks_per_channel
+
+    def _service_one_read(self, channel: int, now: float) -> float:
+        """Pick and perform one read per FR-FCFS."""
+        queue = self._read_queues[channel]
+        if not queue:
+            return now
+        # Forced write drain takes precedence at the high watermark.
+        if len(self._write_queues[channel]) >= self.write_queue_high:
+            self._drain_writes_to_low(channel, now)
+        picked_index = 0
+        for index, candidate in enumerate(queue):
+            bank = self.banks[candidate.row_id // self._rows_per_bank]
+            if bank.open_row == candidate.row_id % self._rows_per_bank:
+                picked_index = index
+                if index > 0:
+                    self.stats.row_hit_first_picks += 1
+                break
+        request = queue.pop(picked_index)
+        bank_index = request.row_id // self._rows_per_bank
+        bank = self.banks[bank_index]
+        bus = self.buses[channel]
+        result = bank.access(
+            max(request.arrival, now),
+            request.row_id % self._rows_per_bank,
+            request.n_lines,
+            bus,
+            request.is_write,
+        )
+        request.completion = result.completion
+        if result.completion > self.end_time:
+            self.end_time = result.completion
+        if result.activated:
+            self._report_activation(request.row_id, result.act_time)
+        return result.completion
+
+    # ------------------------------------------------------------------
+    # Write queue
+    # ------------------------------------------------------------------
+
+    def _note_write_peak(self, channel: int) -> None:
+        depth = len(self._write_queues[channel])
+        if depth > self.stats.write_queue_peak:
+            self.stats.write_queue_peak = depth
+
+    def _maybe_drain_writes(
+        self, channel: int, now: float, forced_only: bool
+    ) -> None:
+        writes = self._write_queues[channel]
+        if len(writes) >= self.write_queue_high:
+            self._drain_writes_to_low(channel, now)
+        elif not forced_only and not self._read_queues[channel] and writes:
+            # Opportunistic: bleed a few writes while reads are absent.
+            for _ in range(min(4, len(writes))):
+                self._perform_write(channel, writes.popleft(), now)
+                self.stats.opportunistic_writes += 1
+
+    def _drain_writes_to_low(self, channel: int, now: float) -> None:
+        writes = self._write_queues[channel]
+        self.stats.forced_write_drains += 1
+        while len(writes) > self.write_queue_low:
+            self._perform_write(channel, writes.popleft(), now)
+
+    def _perform_write(self, channel: int, request: _Request, now: float) -> None:
+        bank_index = request.row_id // self._rows_per_bank
+        result = self.banks[bank_index].access(
+            max(request.arrival, now),
+            request.row_id % self._rows_per_bank,
+            request.n_lines,
+            self.buses[channel],
+            is_write=True,
+        )
+        if result.completion > self.end_time:
+            self.end_time = result.completion
+        if result.activated:
+            self._report_activation(request.row_id, result.act_time)
+
+    # ------------------------------------------------------------------
+    # Tracker integration
+    # ------------------------------------------------------------------
+
+    def _report_activation(self, row_id: int, at: float) -> None:
+        pending = deque(((row_id, 0),))
+        while pending:
+            row, depth = pending.popleft()
+            response = self.tracker.on_activation(row)
+            if response is None:
+                continue
+            for meta in response.meta_accesses:
+                channel = self._channel_of(meta.row_id)
+                if meta.is_write:
+                    self.stats.meta_writes += 1
+                    self._write_queues[channel].append(
+                        _Request(at, meta.row_id, meta.n_lines, True)
+                    )
+                    self._note_write_peak(channel)
+                    continue
+                self.stats.meta_reads += 1
+                bank_index = meta.row_id // self._rows_per_bank
+                result = self.banks[bank_index].access(
+                    at,
+                    meta.row_id % self._rows_per_bank,
+                    meta.n_lines,
+                    self.buses[channel],
+                    False,
+                )
+                if result.activated and depth < self.max_feedback_depth:
+                    pending.append((meta.row_id, depth + 1))
+            for aggressor in response.mitigate_rows:
+                for victim in self.policy.victims_of(aggressor):
+                    self.banks[victim // self._rows_per_bank].refresh_row(at)
+                    self.stats.victim_refreshes += 1
+                    if depth < self.max_feedback_depth:
+                        pending.append((victim, depth + 1))
+
+    def _advance_window(self, at: float) -> None:
+        while at >= self._next_reset:
+            self.tracker.on_window_reset()
+            self.stats.window_resets += 1
+            self._next_reset += self._reset_period

@@ -1,0 +1,24 @@
+"""Simulation harness: configs, runner, sweeps, result records."""
+
+from repro.sim.config import SystemConfig, baseline_table2, default_scale
+from repro.sim.results import Comparison, RunResult, geometric_mean
+from repro.sim.simulator import make_tracker, simulate
+from repro.sim.sweep import (
+    ExperimentRunner,
+    suite_geomeans,
+    suite_slowdowns,
+)
+
+__all__ = [
+    "Comparison",
+    "ExperimentRunner",
+    "RunResult",
+    "SystemConfig",
+    "baseline_table2",
+    "default_scale",
+    "geometric_mean",
+    "make_tracker",
+    "simulate",
+    "suite_geomeans",
+    "suite_slowdowns",
+]

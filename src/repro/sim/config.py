@@ -1,0 +1,172 @@
+"""Top-level system configuration (Table 2) and the scaling policy.
+
+One :class:`SystemConfig` pins down everything an experiment needs:
+the (possibly scaled) DRAM geometry and timing, the Hydra design
+point, baseline tracker parameters, core-model MLP, and trace
+generation settings. All the paper's experiments are expressed as
+variations of this object (see ``repro.sim.sweep``).
+
+Scaling (DESIGN.md §3): ``scale < 1`` shrinks rows-per-bank, the
+tracking window, tracker structures, and workload footprints together,
+preserving every ratio the results depend on. ``scale = 1`` runs the
+paper's full 32 GB / 64 ms configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.core.config import HydraConfig
+from repro.dram.timing import PAPER_GEOMETRY, PAPER_TIMING, DramGeometry, DramTiming
+from repro.workloads.synthetic import GeneratorConfig
+
+#: Environment variable overriding the default experiment scale
+#: (interpreted as a denominator: REPRO_SCALE=64 means scale=1/64).
+SCALE_ENV_VAR = "REPRO_SCALE"
+DEFAULT_SCALE_DENOMINATOR = 32
+
+
+def default_scale() -> float:
+    """Experiment scale: 1/32 by default, overridable via REPRO_SCALE."""
+    denominator = int(os.environ.get(SCALE_ENV_VAR, DEFAULT_SCALE_DENOMINATOR))
+    if denominator < 1:
+        raise ValueError(f"{SCALE_ENV_VAR} must be >= 1")
+    return 1.0 / denominator
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One fully-specified experimental system."""
+
+    #: Fraction of the paper's full-size system (1.0 = 32 GB / 64 ms).
+    scale: float = 1.0
+    #: RowHammer threshold being defended.
+    trh: int = 500
+    #: Hydra structure sizes at full scale (Figure 9 varies gct).
+    gct_entries_full: int = 32768
+    rcc_entries_full: int = 8192
+    rcc_ways: int = 16
+    tg_fraction: float = 0.80
+    #: Multiplier applied to Hydra structures for low-T_RH points
+    #: (Figure 7 uses 2x at 250 and 4x at 125).
+    structure_scale: int = 1
+    #: CRA metadata cache capacity at full scale (Figure 2 sweeps it).
+    cra_cache_full_bytes: int = 64 * 1024
+    #: Victim refresh blast radius (§4.7).
+    blast_radius: int = 2
+    #: Outstanding-request limit of the core model (calibration point:
+    #: reproduces the paper's Figure 5 averages, see EXPERIMENTS.md).
+    mlp: int = 16
+    #: Trace shape.
+    n_windows: int = 2
+    chunk_lines: int = 16
+    seed: int = 2022
+
+    def __post_init__(self) -> None:
+        if not 0 < self.scale <= 1:
+            raise ValueError("scale must be in (0, 1]")
+        if self.structure_scale < 1:
+            raise ValueError("structure_scale must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Derived hardware
+    # ------------------------------------------------------------------
+
+    @property
+    def geometry(self) -> DramGeometry:
+        if self.scale == 1.0:
+            return PAPER_GEOMETRY
+        return PAPER_GEOMETRY.scaled(self.scale)
+
+    @property
+    def timing(self) -> DramTiming:
+        if self.scale == 1.0:
+            return PAPER_TIMING
+        return PAPER_TIMING.scaled(self.scale)
+
+    def hydra_config(
+        self,
+        enable_gct: bool = True,
+        enable_rcc: bool = True,
+        randomize_mapping: bool = False,
+    ) -> HydraConfig:
+        """The Hydra design point, scaled with the system."""
+        full = HydraConfig(
+            geometry=PAPER_GEOMETRY,
+            trh=self.trh,
+            gct_entries=self.gct_entries_full * self.structure_scale,
+            rcc_entries=self.rcc_entries_full * self.structure_scale,
+            rcc_ways=self.rcc_ways,
+            tg_fraction=self.tg_fraction,
+            blast_radius=self.blast_radius,
+            enable_gct=enable_gct,
+            enable_rcc=enable_rcc,
+            randomize_mapping=randomize_mapping,
+        )
+        if self.scale == 1.0:
+            return full
+        return full.scaled(self.scale)
+
+    def cra_cache_bytes(self) -> int:
+        """CRA metadata cache, scaled, kept to whole 16-way sets."""
+        scaled = int(self.cra_cache_full_bytes * self.scale)
+        minimum = 16 * 64  # one 16-way set of 64 B lines
+        scaled = max(minimum, scaled - scaled % minimum)
+        return scaled
+
+    def generator_config(self) -> GeneratorConfig:
+        return GeneratorConfig(
+            geometry=self.geometry,
+            timing=self.timing,
+            scale=self.scale,
+            n_windows=self.n_windows,
+            chunk_lines=self.chunk_lines,
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Experiment variations
+    # ------------------------------------------------------------------
+
+    def with_trh(self, trh: int, structure_scale: Optional[int] = None) -> "SystemConfig":
+        """Retarget T_RH, scaling Hydra structures as Figure 7 does."""
+        if structure_scale is None:
+            structure_scale = max(1, 500 // trh)
+        return replace(self, trh=trh, structure_scale=structure_scale)
+
+    def with_gct_entries(self, gct_entries_full: int) -> "SystemConfig":
+        return replace(self, gct_entries_full=gct_entries_full)
+
+    def with_tg_fraction(self, tg_fraction: float) -> "SystemConfig":
+        return replace(self, tg_fraction=tg_fraction)
+
+    def with_cra_cache(self, full_bytes: int) -> "SystemConfig":
+        return replace(self, cra_cache_full_bytes=full_bytes)
+
+    def cache_key(self) -> str:
+        """Stable identifier for result caching."""
+        return (
+            f"s{self.scale:.6f}-t{self.trh}-g{self.gct_entries_full}"
+            f"-r{self.rcc_entries_full}x{self.rcc_ways}-f{self.tg_fraction}"
+            f"-x{self.structure_scale}-c{self.cra_cache_full_bytes}"
+            f"-b{self.blast_radius}-m{self.mlp}-w{self.n_windows}"
+            f"-k{self.chunk_lines}-e{self.seed}"
+        )
+
+
+def baseline_table2() -> Dict[str, str]:
+    """The paper's Table 2, as data (for documentation and tests)."""
+    return {
+        "Cores (OoO)": "8 @ 3.2GHz",
+        "ROB size": "160",
+        "Fetch and Retire width": "4",
+        "Last Level Cache (Shared)": "8MB, 16-Way, 64B lines",
+        "Memory size": "32 GB - DDR4",
+        "Memory bus speed": "1.6 GHz (3.2GHz DDR)",
+        "tRCD-tRP-tCAS": "14-14-14 ns",
+        "tRC and tRFC": "45ns and 350 ns",
+        "Banks x Ranks x Channels": "16 x 1 x 2",
+        "Size of row": "8KB",
+    }

@@ -1,0 +1,162 @@
+"""Named-experiment registry: the paper's evaluation as callables.
+
+Each entry regenerates one table/figure programmatically (the
+benchmarks under ``benchmarks/`` wrap the same runs with shape
+assertions and timing). Exposed through ``hydra-sim experiment`` so a
+single figure can be reproduced from the command line without pytest.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.sim.config import SystemConfig
+from repro.sim.sweep import ExperimentRunner, suite_geomeans, suite_slowdowns
+
+ExperimentFn = Callable[[SystemConfig], dict]
+
+_REGISTRY: Dict[str, ExperimentFn] = {}
+
+
+def experiment(name: str) -> Callable[[ExperimentFn], ExperimentFn]:
+    def register(fn: ExperimentFn) -> ExperimentFn:
+        _REGISTRY[name] = fn
+        return fn
+
+    return register
+
+
+def available_experiments() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def run_experiment(name: str, config: SystemConfig) -> dict:
+    """Execute one named experiment; returns its payload dict."""
+    try:
+        fn = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {available_experiments()}"
+        ) from None
+    return fn(config)
+
+
+def _tracker_sweep(
+    config: SystemConfig, tracker_names: Sequence[str]
+) -> dict:
+    runner = ExperimentRunner(config)
+    payload = {}
+    for tracker in tracker_names:
+        comparisons = runner.compare(tracker)
+        payload[tracker] = {
+            "per_workload": {
+                c.workload: round(c.normalized_performance, 4)
+                for c in comparisons
+            },
+            "suite_geomeans": {
+                k: round(v, 4) for k, v in suite_geomeans(comparisons).items()
+            },
+            "suite_slowdowns_percent": {
+                k: round(v, 3) for k, v in suite_slowdowns(comparisons).items()
+            },
+        }
+    return payload
+
+
+@experiment("fig2")
+def fig2_cra_cache_sweep(config: SystemConfig) -> dict:
+    payload = {}
+    for size_kb in (64, 128, 256):
+        sized = config.with_cra_cache(size_kb * 1024)
+        payload[f"cra-{size_kb}kb"] = _tracker_sweep(sized, ["cra"])["cra"]
+    return payload
+
+
+@experiment("fig5")
+def fig5_performance(config: SystemConfig) -> dict:
+    return _tracker_sweep(config, ["graphene", "cra", "hydra"])
+
+
+@experiment("fig6")
+def fig6_distribution(config: SystemConfig) -> dict:
+    runner = ExperimentRunner(config)
+    from repro.workloads.characteristics import all_names
+
+    return {
+        name: {
+            k: round(v, 5)
+            for k, v in runner.run("hydra", name).extra["distribution"].items()
+        }
+        for name in all_names()
+    }
+
+
+@experiment("fig7")
+def fig7_trh_sensitivity(config: SystemConfig) -> dict:
+    payload = {}
+    for trh in (500, 250, 125):
+        payload[str(trh)] = _tracker_sweep(config.with_trh(trh), ["hydra"])[
+            "hydra"
+        ]["suite_slowdowns_percent"]
+    return payload
+
+
+@experiment("fig8")
+def fig8_ablation(config: SystemConfig) -> dict:
+    return _tracker_sweep(config, ["hydra", "hydra-norcc", "hydra-nogct"])
+
+
+@experiment("fig9")
+def fig9_gct_size(config: SystemConfig) -> dict:
+    payload = {}
+    for entries in (16384, 32768, 65536):
+        payload[f"{entries // 1024}K"] = _tracker_sweep(
+            config.with_gct_entries(entries), ["hydra"]
+        )["hydra"]["suite_slowdowns_percent"]
+    return payload
+
+
+@experiment("fig10")
+def fig10_tg(config: SystemConfig) -> dict:
+    payload = {}
+    for fraction in (0.50, 0.65, 0.80, 0.95):
+        payload[f"{int(fraction * 100)}%"] = _tracker_sweep(
+            config.with_tg_fraction(fraction), ["hydra"]
+        )["hydra"]["suite_slowdowns_percent"]
+    return payload
+
+
+@experiment("table1")
+def table1_storage(config: SystemConfig) -> dict:
+    from repro.trackers.storage import storage_table
+
+    return {
+        str(row.trh): {
+            scheme: round(size / 1024, 1)
+            for scheme, size in row.bytes_by_scheme.items()
+        }
+        for row in storage_table()
+    }
+
+
+@experiment("table4")
+def table4_hydra_storage(config: SystemConfig) -> dict:
+    from repro.core.config import HydraConfig
+    from repro.core.storage import hydra_storage
+
+    return dict(hydra_storage(HydraConfig(trh=config.trh)).rows())
+
+
+@experiment("table5")
+def table5_total_sram(config: SystemConfig) -> dict:
+    from repro.trackers.storage import total_sram_table
+
+    return {
+        scheme: {k: round(v / 1024, 1) for k, v in cols.items()}
+        for scheme, cols in total_sram_table(trh=config.trh).items()
+    }
+
+
+@experiment("fn4")
+def fn4_randomized(config: SystemConfig) -> dict:
+    return _tracker_sweep(config, ["hydra", "hydra-randomized"])

@@ -1,0 +1,77 @@
+"""Result records produced by the simulation harness.
+
+Kept deliberately plain (dataclasses of numbers and small dicts) so
+they serialize cleanly to JSON for the benchmark result cache and
+EXPERIMENTS.md generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass
+class RunResult:
+    """One (workload, tracker) simulation outcome."""
+
+    workload: str
+    tracker: str
+    end_time_ns: float
+    requests: int
+    average_latency_ns: float
+    demand_line_transfers: int
+    meta_accesses: int
+    meta_line_transfers: int
+    victim_refreshes: int
+    mitigations: int
+    window_resets: int
+    activations: int
+    bus_utilization: float
+    dram_power_w: float
+    #: Tracker-specific extras (e.g. Hydra's Figure 6 distribution).
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "RunResult":
+        return RunResult(**data)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A tracked run against its no-tracking baseline."""
+
+    workload: str
+    tracker: str
+    baseline_ns: float
+    tracked_ns: float
+
+    @property
+    def normalized_performance(self) -> float:
+        """Baseline time / tracked time (1.0 = no slowdown, Figure 5's y-axis)."""
+        if self.tracked_ns <= 0:
+            return 1.0
+        return self.baseline_ns / self.tracked_ns
+
+    @property
+    def slowdown_percent(self) -> float:
+        """Extra execution time in percent (Figures 7, 9, 10's y-axis)."""
+        if self.baseline_ns <= 0:
+            return 0.0
+        return 100.0 * (self.tracked_ns / self.baseline_ns - 1.0)
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean (the paper's aggregation for normalized perf)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of nothing")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,143 @@
+"""End-to-end simulation runner: trace -> core -> controller -> DRAM.
+
+``simulate`` wires one workload trace through the limited-MLP core
+model and a memory controller carrying the requested tracker, and
+packages the outcome as a :class:`~repro.sim.results.RunResult`.
+
+Tracker construction is name-driven (``make_tracker``) so sweeps and
+the benchmark harness can express configurations as plain strings:
+``baseline``, ``hydra``, ``hydra-nogct``, ``hydra-norcc``,
+``graphene``, ``cra`` (uses the config's cache size), ``ocpr``,
+``para``, ``dcbf``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.hydra import HydraTracker
+from repro.cpu.core import LimitedMlpCore
+from repro.dram.power import DramPowerModel
+from repro.interfaces import ActivationTracker, NullTracker
+from repro.memctrl.controller import MemoryController
+from repro.sim.config import SystemConfig
+from repro.sim.results import RunResult
+from repro.trackers.cat import CatTracker
+from repro.trackers.cra import CraTracker
+from repro.trackers.dcbf import DcbfTracker
+from repro.trackers.graphene import GrapheneTracker
+from repro.trackers.insecure import MrlocTracker, ProhitTracker
+from repro.trackers.mithril import MithrilTracker
+from repro.trackers.ocpr import OcprTracker
+from repro.trackers.para import ParaTracker
+from repro.trackers.twice import TwiceTracker
+from repro.workloads.trace import Trace
+
+TrackerFactory = Callable[[SystemConfig], ActivationTracker]
+
+
+def make_tracker(name: str, config: SystemConfig) -> ActivationTracker:
+    """Instantiate a tracker by name for the given system."""
+    if name == "baseline":
+        return NullTracker()
+    if name == "hydra":
+        return HydraTracker(config.hydra_config())
+    if name == "hydra-randomized":
+        tracker = HydraTracker(config.hydra_config(randomize_mapping=True))
+        tracker.name = "hydra-randomized"
+        return tracker
+    if name == "hydra-nogct":
+        return HydraTracker(config.hydra_config(enable_gct=False))
+    if name == "hydra-norcc":
+        return HydraTracker(config.hydra_config(enable_rcc=False))
+    if name == "graphene":
+        return GrapheneTracker(
+            config.geometry, trh=config.trh, timing=config.timing
+        )
+    if name == "cra":
+        return CraTracker(
+            config.geometry,
+            trh=config.trh,
+            cache_bytes=config.cra_cache_bytes(),
+        )
+    if name == "ocpr":
+        return OcprTracker(config.geometry, trh=config.trh)
+    if name == "cat":
+        return CatTracker(
+            config.geometry, trh=config.trh, timing=config.timing
+        )
+    if name == "twice":
+        return TwiceTracker(
+            config.geometry, trh=config.trh, timing=config.timing
+        )
+    if name == "mithril":
+        return MithrilTracker(
+            config.geometry, trh=config.trh, timing=config.timing
+        )
+    if name == "mrloc":
+        return MrlocTracker()
+    if name == "prohit":
+        return ProhitTracker()
+    if name == "para":
+        return ParaTracker(trh=config.trh)
+    if name == "dcbf":
+        counters = max(1024, int((1 << 18) * config.scale))
+        return DcbfTracker(
+            trh=config.trh, counters_per_filter=counters, timing=config.timing
+        )
+    raise ValueError(f"unknown tracker {name!r}")
+
+
+def simulate(
+    trace: Trace,
+    config: SystemConfig,
+    tracker_name: str = "hydra",
+    tracker: Optional[ActivationTracker] = None,
+) -> RunResult:
+    """Run one trace through one system configuration."""
+    if tracker is None:
+        tracker = make_tracker(tracker_name, config)
+    controller = MemoryController(
+        geometry=config.geometry,
+        timing=config.timing,
+        tracker=tracker,
+        blast_radius=config.blast_radius,
+    )
+    core = LimitedMlpCore(mlp=config.mlp)
+    outcome = core.run(trace, controller)
+
+    activity = controller.activity()
+    power_model = DramPowerModel(config.timing)
+    power = power_model.report(
+        activity,
+        elapsed_ns=outcome.end_time_ns,
+        n_refreshes=controller.total_refreshes(),
+        n_ranks=config.geometry.channels * config.geometry.ranks_per_channel,
+    )
+    extra: Dict[str, object] = {}
+    if isinstance(tracker, HydraTracker):
+        extra["distribution"] = tracker.stats.distribution()
+        extra["group_inits"] = tracker.stats.group_inits
+        extra["rit_act_activations"] = tracker.stats.rit_act_activations
+    if isinstance(tracker, CraTracker):
+        total = tracker.cache.hits + tracker.cache.misses
+        extra["cache_miss_rate"] = (
+            tracker.cache.misses / total if total else 0.0
+        )
+    return RunResult(
+        workload=trace.name,
+        tracker=getattr(tracker, "name", tracker_name),
+        end_time_ns=outcome.end_time_ns,
+        requests=outcome.requests,
+        average_latency_ns=outcome.average_latency_ns,
+        demand_line_transfers=controller.stats.demand_line_transfers,
+        meta_accesses=controller.stats.meta_accesses,
+        meta_line_transfers=controller.stats.meta_line_transfers,
+        victim_refreshes=controller.stats.victim_refreshes,
+        mitigations=tracker.mitigation_count(),
+        window_resets=controller.stats.window_resets,
+        activations=activity.activations,
+        bus_utilization=controller.bus_utilization(),
+        dram_power_w=power.average_power,
+        extra=extra,
+    )

@@ -1,0 +1,159 @@
+"""Experiment sweeps: run tracker x workload grids with result caching.
+
+Every figure in the paper's evaluation is a sweep of (tracker
+configuration) x (36 workloads), aggregated per suite with geometric
+means. :class:`ExperimentRunner` executes those grids, caching each
+(config, tracker, workload) run as JSON on disk so the many benchmark
+targets that share runs (e.g. Figure 5's Hydra column and Figure 6's
+distribution) pay for each simulation once.
+
+Set ``REPRO_CACHE_DIR`` to relocate the cache; delete it to force
+re-simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.config import SystemConfig
+from repro.sim.results import Comparison, RunResult, geometric_mean
+from repro.sim.simulator import simulate
+from repro.workloads.characteristics import SUITES, all_names, workload
+from repro.workloads.synthetic import SyntheticWorkloadGenerator
+from repro.workloads.trace import Trace
+
+#: Bump to invalidate cached results when the model changes materially.
+MODEL_VERSION = "v1"
+
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(CACHE_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.cwd() / ".repro_cache"
+
+
+class ExperimentRunner:
+    """Runs and caches (config, tracker, workload) simulations."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        cache_dir: Optional[Path] = None,
+        use_disk_cache: bool = True,
+    ) -> None:
+        self.config = config
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.use_disk_cache = use_disk_cache
+        self._traces: Dict[str, Trace] = {}
+        self._results: Dict[str, RunResult] = {}
+        self._generator = SyntheticWorkloadGenerator(config.generator_config())
+
+    # ------------------------------------------------------------------
+
+    def trace_for(self, workload_name: str) -> Trace:
+        cached = self._traces.get(workload_name)
+        if cached is None:
+            cached = self._generator.generate(workload(workload_name))
+            self._traces[workload_name] = cached
+        return cached
+
+    def run(self, tracker_name: str, workload_name: str) -> RunResult:
+        """One simulation, via the in-memory and on-disk caches."""
+        key = self._key(tracker_name, workload_name)
+        result = self._results.get(key)
+        if result is not None:
+            return result
+        result = self._load(key)
+        if result is None:
+            result = simulate(
+                self.trace_for(workload_name), self.config, tracker_name
+            )
+            self._store(key, result)
+        self._results[key] = result
+        return result
+
+    def run_grid(
+        self,
+        tracker_names: Sequence[str],
+        workload_names: Optional[Sequence[str]] = None,
+    ) -> Dict[str, Dict[str, RunResult]]:
+        """tracker -> workload -> RunResult for the whole grid."""
+        names = list(workload_names) if workload_names else all_names()
+        return {
+            tracker: {wl: self.run(tracker, wl) for wl in names}
+            for tracker in tracker_names
+        }
+
+    def compare(
+        self,
+        tracker_name: str,
+        workload_names: Optional[Sequence[str]] = None,
+        baseline_name: str = "baseline",
+    ) -> List[Comparison]:
+        """Tracked runs vs the no-tracking baseline, per workload."""
+        names = list(workload_names) if workload_names else all_names()
+        comparisons = []
+        for wl in names:
+            base = self.run(baseline_name, wl)
+            tracked = self.run(tracker_name, wl)
+            comparisons.append(
+                Comparison(
+                    workload=wl,
+                    tracker=tracker_name,
+                    baseline_ns=base.end_time_ns,
+                    tracked_ns=tracked.end_time_ns,
+                )
+            )
+        return comparisons
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+
+    def _key(self, tracker_name: str, workload_name: str) -> str:
+        raw = f"{MODEL_VERSION}|{self.config.cache_key()}|{tracker_name}|{workload_name}"
+        return hashlib.sha256(raw.encode()).hexdigest()[:24]
+
+    def _load(self, key: str) -> Optional[RunResult]:
+        if not self.use_disk_cache:
+            return None
+        path = self.cache_dir / f"{key}.json"
+        if not path.exists():
+            return None
+        try:
+            return RunResult.from_dict(json.loads(path.read_text()))
+        except (json.JSONDecodeError, TypeError, KeyError):
+            return None
+
+    def _store(self, key: str, result: RunResult) -> None:
+        if not self.use_disk_cache:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self.cache_dir / f"{key}.json"
+        path.write_text(json.dumps(result.to_dict()))
+
+
+def suite_geomeans(comparisons: Iterable[Comparison]) -> Dict[str, float]:
+    """Geomean normalized performance per suite (Figure 5's summary)."""
+    by_workload = {c.workload: c.normalized_performance for c in comparisons}
+    means: Dict[str, float] = {}
+    for suite, members in SUITES.items():
+        values = [by_workload[m] for m in members if m in by_workload]
+        if values:
+            means[suite] = geometric_mean(values)
+    return means
+
+
+def suite_slowdowns(comparisons: Iterable[Comparison]) -> Dict[str, float]:
+    """Percent slowdown per suite (Figures 7/9/10's y-axis)."""
+    return {
+        suite: 100.0 * (1.0 / value - 1.0)
+        for suite, value in suite_geomeans(comparisons).items()
+    }

@@ -1,0 +1,57 @@
+"""Baseline RowHammer trackers and storage models.
+
+Functional trackers: Graphene (Misra-Gries CAM), CRA (DRAM counters +
+metadata cache), OCPR (exact per-row), PARA (probabilistic), D-CBF
+(dual counting Bloom filters). Storage-only analytic models for
+TWiCE/CAT live in :mod:`repro.trackers.storage` alongside the Table 1
+and Table 5 generators.
+"""
+
+from repro.trackers.base import (
+    ActivationTracker,
+    MetaAccess,
+    NullTracker,
+    TrackerResponse,
+    merge_responses,
+)
+from repro.trackers.cat import CatTracker
+from repro.trackers.cra import CraTracker, LineMetadataCache
+from repro.trackers.dcbf import CountingBloomFilter, DcbfTracker
+from repro.trackers.graphene import GrapheneTracker, graphene_entries_per_bank
+from repro.trackers.insecure import MrlocTracker, ProhitTracker
+from repro.trackers.mithril import MithrilTracker
+from repro.trackers.ocpr import OcprTracker
+from repro.trackers.para import ParaTracker, para_probability
+from repro.trackers.twice import TwiceTracker
+from repro.trackers.storage import (
+    RANK_GEOMETRY,
+    StorageRow,
+    storage_table,
+    total_sram_table,
+)
+
+__all__ = [
+    "ActivationTracker",
+    "CatTracker",
+    "CountingBloomFilter",
+    "CraTracker",
+    "DcbfTracker",
+    "GrapheneTracker",
+    "LineMetadataCache",
+    "MetaAccess",
+    "MithrilTracker",
+    "MrlocTracker",
+    "NullTracker",
+    "ProhitTracker",
+    "OcprTracker",
+    "ParaTracker",
+    "RANK_GEOMETRY",
+    "StorageRow",
+    "TrackerResponse",
+    "TwiceTracker",
+    "graphene_entries_per_bank",
+    "merge_responses",
+    "para_probability",
+    "storage_table",
+    "total_sram_table",
+]

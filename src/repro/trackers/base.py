@@ -1,0 +1,23 @@
+"""Common tracker interface (canonical definitions in `repro.interfaces`).
+
+This module re-exports the tracker abstractions so baseline trackers
+and user code can keep importing them from ``repro.trackers.base``,
+while low-level packages (e.g. ``repro.core.rct``) import from
+``repro.interfaces`` without touching this package's ``__init__``.
+"""
+
+from repro.interfaces import (
+    ActivationTracker,
+    MetaAccess,
+    NullTracker,
+    TrackerResponse,
+    merge_responses,
+)
+
+__all__ = [
+    "ActivationTracker",
+    "MetaAccess",
+    "NullTracker",
+    "TrackerResponse",
+    "merge_responses",
+]

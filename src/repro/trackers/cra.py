@@ -1,0 +1,160 @@
+"""CRA: Counter-based Row Activation tracking (Kim et al., CAL 2014).
+
+The DRAM-based baseline: one counter per row lives in a reserved
+region of memory, read and written by the memory controller with
+regular 64 B line accesses, fronted by a *conventional* metadata
+cache — 64 B-line granularity, address-tagged, set-associative LRU
+(this line granularity, relying on spatial locality that row-level
+access streams do not have, is exactly why CRA's cache misses so much;
+Hydra's RCC caches single counters instead).
+
+On every activation the controller needs the row's counter:
+
+- metadata-cache hit: increment in place (no DRAM traffic);
+- miss: read the counter line from DRAM, install it, and write back
+  the evicted line if dirty.
+
+Mitigation (victim refresh) triggers at T_RH/2 (window-reset halving)
+and resets the counter.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from repro.core.rct import RowCountTable
+from repro.dram.timing import DramGeometry
+from repro.trackers.base import ActivationTracker, MetaAccess, TrackerResponse
+
+
+class LineMetadataCache:
+    """Set-associative LRU cache of 64 B metadata lines."""
+
+    __slots__ = ("sets", "ways", "_sets", "hits", "misses", "evictions")
+
+    def __init__(self, capacity_bytes: int, line_bytes: int = 64, ways: int = 16) -> None:
+        lines = capacity_bytes // line_bytes
+        if lines < ways or lines % ways:
+            raise ValueError("capacity must hold a whole number of sets")
+        self.sets = lines // ways
+        self.ways = ways
+        # line_id -> dirty flag, in LRU order (oldest first).
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(self.sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.sets * self.ways
+
+    def access(self, line_id: int, make_dirty: bool) -> Tuple[bool, Optional[int]]:
+        """Touch a line (installing it on a miss).
+
+        Returns ``(hit, dirty_victim_line)``: ``hit`` is False when the
+        line had to be installed, and ``dirty_victim_line`` names an
+        evicted dirty line that must be written back (clean evictions
+        are free and reported as None).
+        """
+        cache_set = self._sets[line_id % self.sets]
+        if line_id in cache_set:
+            self.hits += 1
+            cache_set.move_to_end(line_id)
+            if make_dirty:
+                cache_set[line_id] = True
+            return True, None
+        self.misses += 1
+        victim: Optional[int] = None
+        if len(cache_set) >= self.ways:
+            victim_line, victim_dirty = cache_set.popitem(last=False)
+            self.evictions += 1
+            if victim_dirty:
+                victim = victim_line
+        cache_set[line_id] = make_dirty
+        return False, victim
+
+    def contains(self, line_id: int) -> bool:
+        return line_id in self._sets[line_id % self.sets]
+
+    def reset(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()
+
+
+class CraTracker(ActivationTracker):
+    """Per-row DRAM counters + conventional metadata cache."""
+
+    name = "cra"
+
+    def __init__(
+        self,
+        geometry: DramGeometry,
+        trh: int = 500,
+        cache_bytes: int = 64 * 1024,
+        cache_ways: int = 16,
+    ) -> None:
+        self.geometry = geometry
+        self.trh = trh
+        self.threshold = trh // 2
+        counter_bytes = max(1, (self.threshold.bit_length() + 7) // 8)
+        self.table = RowCountTable(geometry, counter_bytes=counter_bytes)
+        self.cache = LineMetadataCache(cache_bytes, ways=cache_ways)
+        self._counters_per_line = (
+            geometry.line_size_bytes // counter_bytes
+        )
+        self.cache_bytes = cache_bytes
+        self.mitigations = 0
+        self.extra_read_lines = 0
+        self.extra_write_lines = 0
+
+    def _line_of(self, row_id: int) -> int:
+        return row_id // self._counters_per_line
+
+    def _meta_row_of_line(self, line_id: int) -> int:
+        return self.table.meta_row_of(line_id * self._counters_per_line)
+
+    def on_activation(self, row_id: int) -> Optional[TrackerResponse]:
+        if self.table.is_meta_row(row_id):
+            # CRA as published does not guard its own counter rows
+            # (Hydra's §5.2.2 RIT-ACT has no CRA equivalent); counter-
+            # row activations are simply not tracked.
+            return None
+        count = self.table.read(row_id) + 1
+        mitigate: Tuple[int, ...] = ()
+        if count >= self.threshold:
+            self.mitigations += 1
+            self.table.write(row_id, 0)
+            mitigate = (row_id,)
+        else:
+            self.table.write(row_id, count)
+        hit, dirty_victim = self.cache.access(self._line_of(row_id), make_dirty=True)
+        if hit and not mitigate:
+            return None
+        meta: List[MetaAccess] = []
+        if not hit:
+            self.extra_read_lines += 1
+            meta.append(
+                MetaAccess(self._meta_row_of_line(self._line_of(row_id)), 1, False)
+            )
+            if dirty_victim is not None:
+                self.extra_write_lines += 1
+                meta.append(
+                    MetaAccess(self._meta_row_of_line(dirty_victim), 1, True)
+                )
+        if not meta and not mitigate:
+            return None
+        return TrackerResponse(mitigate_rows=mitigate, meta_accesses=tuple(meta))
+
+    def on_window_reset(self) -> None:
+        self.table.reset_all()
+        self.cache.reset()
+
+    def sram_bytes(self) -> int:
+        """Metadata cache data + ~25% tag/valid/LRU overhead."""
+        return int(self.cache_bytes * 1.25)
+
+    def dram_reserved_bytes(self) -> int:
+        return self.table.dram_reserved_bytes()

@@ -1,0 +1,159 @@
+"""Storage-overhead models for prior RowHammer trackers (Tables 1 & 5).
+
+Each function returns the SRAM/CAM bytes one *rank* of the paper's
+16 GB configuration (16 banks, 8 KB rows, 2M rows) needs at a given
+RowHammer threshold. Where the original papers give exact sizing
+arithmetic (OCPR, Graphene) we implement it; for TWiCE, CAT and D-CBF
+the paper reports point values without reproducible formulas, so we
+use inverse-threshold fits *calibrated to Table 1's published points*
+(each fit documented at its definition, with the calibration anchor).
+
+Table 5 totals are these per-rank numbers times two ranks; per-bank
+structures (Graphene, TWiCE, CAT) double again for DDR5's 32 banks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.dram.timing import DramGeometry, DramTiming
+
+#: A 16 GB rank: 16 banks x 128K rows x 8 KB (Table 1's configuration).
+RANK_GEOMETRY = DramGeometry(
+    channels=1, ranks_per_channel=1, banks_per_rank=16, rows_per_bank=131072
+)
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def act_max_per_window(timing: DramTiming = DramTiming()) -> int:
+    """Max ACTs one bank can see in a refresh window (~1.36M, §2.1)."""
+    return timing.max_activations_per_window()
+
+
+def ocpr_bytes_per_rank(
+    trh: int, geometry: DramGeometry = RANK_GEOMETRY
+) -> int:
+    """One log2(T_RH)-bit counter per row (Table 1 upper bound)."""
+    bits = max(1, (trh - 1).bit_length())
+    rows = geometry.banks_per_rank * geometry.rows_per_bank
+    return (rows * bits + 7) // 8
+
+
+def graphene_bytes_per_rank(
+    trh: int,
+    geometry: DramGeometry = RANK_GEOMETRY,
+    timing: DramTiming = DramTiming(),
+) -> int:
+    """Misra-Gries CAM: ceil(ACT_max/(T_RH/2)) + 1 entries/bank, 4 B each.
+
+    Reproduces Table 1 exactly: 340 KB at T_RH=500, 679 KB at 250,
+    170 KB at 1000, ~5 KB at 32K.
+    """
+    entries_per_bank = -(-act_max_per_window(timing) // (trh // 2)) + 1
+    return entries_per_bank * geometry.banks_per_rank * 4
+
+
+def twice_bytes_per_rank(trh: int, **_: object) -> int:
+    """TWiCE table storage, inverse-threshold fit.
+
+    Calibrated to Table 1's anchor of 1.2 MB/rank at T_RH = 1000 (and
+    consistent with 2.3 MB at 500 and 37 KB at 32K). At ultra-low
+    thresholds TWiCE degenerates toward per-row tracking, which is the
+    paper's point ("almost as much storage as OCPR").
+    """
+    return int(1.2 * MIB * 1000 / trh)
+
+
+def cat_bytes_per_rank(trh: int, **_: object) -> int:
+    """Counter-Adaptive-Tree storage, inverse-threshold fit.
+
+    Calibrated to Table 1's anchor of 1.5 MB/rank at T_RH = 500 (and
+    consistent with 784 KB at 1000 and 25 KB at 32K).
+    """
+    return int(1.5 * MIB * 500 / trh)
+
+
+def dcbf_bytes_per_rank(trh: int, **_: object) -> int:
+    """Dual-CBF storage: inverse-threshold fit with an FP-rate floor.
+
+    Calibrated to 768 KB/rank at T_RH = 500 (also matching 1.5 MB at
+    250 and 384 KB at 1000). The 53 KB floor reflects the minimum
+    filter population needed for a usable false-positive rate
+    regardless of threshold (Table 1's T_RH = 32K row).
+    """
+    return max(int(768 * KIB * 500 / trh), 53 * KIB)
+
+
+def hydra_bytes_total(trh: int = 500) -> int:
+    """Hydra SRAM for the whole 32 GB system (both ranks), Table 4/5.
+
+    Structures scale inversely with T_RH below the 500 design point
+    (Figure 7 scales them 2x at 250 and 4x at 125).
+    """
+    from repro.core.config import HydraConfig
+    from repro.core.storage import hydra_storage
+
+    scale = max(1, 500 // trh)
+    config = HydraConfig().with_threshold(trh, structure_scale=scale)
+    return hydra_storage(config).sram_total_bytes
+
+
+SCHEME_MODELS: Dict[str, Callable[..., int]] = {
+    "Graphene": graphene_bytes_per_rank,
+    "TWiCE": twice_bytes_per_rank,
+    "CAT": cat_bytes_per_rank,
+    "D-CBF": dcbf_bytes_per_rank,
+    "OCPR": ocpr_bytes_per_rank,
+}
+
+#: Schemes whose structures are per-bank and thus double on DDR5.
+PER_BANK_SCHEMES = ("Graphene", "TWiCE", "CAT")
+
+
+@dataclass(frozen=True)
+class StorageRow:
+    """One threshold's worth of Table 1."""
+
+    trh: int
+    bytes_by_scheme: Dict[str, int]
+
+    def kib(self, scheme: str) -> float:
+        return self.bytes_by_scheme[scheme] / KIB
+
+
+def storage_table(
+    thresholds: Sequence[int] = (250, 500, 1000, 32000),
+) -> List[StorageRow]:
+    """Regenerate Table 1: per-rank storage of each scheme."""
+    rows = []
+    for trh in thresholds:
+        rows.append(
+            StorageRow(
+                trh=trh,
+                bytes_by_scheme={
+                    name: model(trh) for name, model in SCHEME_MODELS.items()
+                },
+            )
+        )
+    return rows
+
+
+def total_sram_table(trh: int = 500, ranks: int = 2) -> Dict[str, Dict[str, int]]:
+    """Regenerate Table 5: whole-system SRAM, DDR4 vs DDR5.
+
+    DDR5 doubles per-bank structures (32 banks/rank); D-CBF and Hydra
+    are threshold/row-count structures and do not double.
+    """
+    table: Dict[str, Dict[str, int]] = {}
+    for name, model in SCHEME_MODELS.items():
+        if name == "OCPR":
+            continue
+        ddr4 = model(trh) * ranks
+        ddr5 = ddr4 * 2 if name in PER_BANK_SCHEMES else ddr4
+        table[name] = {"ddr4": ddr4, "ddr5": ddr5}
+    hydra = hydra_bytes_total(trh)
+    table["Hydra"] = {"ddr4": hydra, "ddr5": hydra}
+    return table

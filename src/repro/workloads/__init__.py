@@ -1,0 +1,50 @@
+"""Workloads: Table 3 characteristics, trace generation, attacks."""
+
+from repro.workloads.characteristics import (
+    BY_NAME,
+    SUITES,
+    TABLE3,
+    WorkloadCharacteristics,
+    all_names,
+    workload,
+)
+from repro.workloads.address_stream import (
+    gups_address_stream,
+    trace_from_addresses,
+)
+from repro.workloads.gups import generate_gups
+from repro.workloads.mixes import attack_alongside, merge_traces
+from repro.workloads.synthetic import (
+    GeneratorConfig,
+    SyntheticWorkloadGenerator,
+    usable_rows,
+)
+from repro.workloads.trace import (
+    Trace,
+    TraceStatistics,
+    characterize,
+    statistics_by_window,
+)
+from repro.workloads import attacks
+
+__all__ = [
+    "BY_NAME",
+    "GeneratorConfig",
+    "SUITES",
+    "SyntheticWorkloadGenerator",
+    "TABLE3",
+    "Trace",
+    "TraceStatistics",
+    "WorkloadCharacteristics",
+    "all_names",
+    "attack_alongside",
+    "attacks",
+    "merge_traces",
+    "characterize",
+    "generate_gups",
+    "gups_address_stream",
+    "statistics_by_window",
+    "trace_from_addresses",
+    "usable_rows",
+    "workload",
+]

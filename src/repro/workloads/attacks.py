@@ -1,0 +1,135 @@
+"""RowHammer attack pattern generators (§2.3, §5).
+
+Each generator returns a sequence of global row ids — the activation
+order an attacker induces. The security harness feeds these to a
+tracker alongside a ground-truth oracle; the performance harness wraps
+them into :class:`~repro.workloads.trace.Trace` objects to measure the
+cost of attacks as workloads (memory performance attacks, §5.3).
+
+Patterns covered: single-sided, double-sided, many-sided
+(TRRespass-style), Half-Double, tracker-thrashing (defeats
+under-provisioned SRAM tables), RCC-thrashing (forces Hydra's per-row
+path to DRAM), and direct hammering of the DRAM rows that store the
+RCT (§5.2.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.core.rct import RowCountTable
+from repro.dram.timing import DramGeometry
+
+
+def single_sided(aggressor: int, hammers: int) -> List[int]:
+    """Hammer one row continuously."""
+    if hammers < 0:
+        raise ValueError("hammers must be non-negative")
+    return [aggressor] * hammers
+
+
+def double_sided(victim: int, hammers_per_side: int) -> List[int]:
+    """Alternate the two rows sandwiching ``victim``."""
+    if victim < 1:
+        raise ValueError("victim must have a row on each side")
+    pattern = [victim - 1, victim + 1]
+    return pattern * hammers_per_side
+
+
+def many_sided(aggressors: Sequence[int], rounds: int) -> List[int]:
+    """TRRespass-style: sweep many aggressors round-robin.
+
+    Defeats trackers that only remember a handful of recent rows
+    (in-DRAM TRR); every aggressor accumulates ``rounds`` activations.
+    """
+    if not aggressors:
+        raise ValueError("need at least one aggressor")
+    return list(itertools.chain.from_iterable([list(aggressors)] * rounds))
+
+
+def half_double(victim: int, far_hammers: int, near_ratio: int = 1000) -> List[int]:
+    """Half-Double: heavy distance-2 hammering plus rare near accesses.
+
+    Bit-flips at ``victim`` arise from massive activation of the
+    distance-2 rows combined with the victim-refresh activity this
+    induces on the distance-1 rows (§5.2.1). One near access is mixed
+    in per ``near_ratio`` far hammers.
+    """
+    if victim < 2:
+        raise ValueError("victim needs distance-2 rows on both sides")
+    sequence: List[int] = []
+    near = [victim - 1, victim + 1]
+    far = [victim - 2, victim + 2]
+    for i in range(far_hammers):
+        sequence.append(far[i % 2])
+        if near_ratio and i % near_ratio == near_ratio - 1:
+            sequence.append(near[(i // near_ratio) % 2])
+    return sequence
+
+
+def thrash_then_hammer(
+    aggressor: int,
+    decoy_rows: Sequence[int],
+    hammers: int,
+    interleave: int = 1,
+) -> List[int]:
+    """Interleave decoy-row sweeps with aggressor activations.
+
+    Against an under-provisioned frequent-row table the decoys evict
+    the aggressor's entry before it accumulates count (the TRRespass
+    observation); against Hydra the decoys merely burn GCT counters —
+    the per-row RCT backstop still sees every aggressor activation.
+    """
+    if interleave < 1:
+        raise ValueError("interleave must be >= 1")
+    sequence: List[int] = []
+    decoys = list(decoy_rows)
+    for i in range(hammers):
+        sequence.append(aggressor)
+        if decoys and i % interleave == 0:
+            sequence.extend(decoys)
+    return sequence
+
+
+def rcc_thrash(
+    geometry: DramGeometry,
+    target_rows: int,
+    rounds: int,
+    seed: int = 11,
+) -> List[int]:
+    """Memory performance attack on Hydra's RCC (§5.3).
+
+    Rapidly activates many distinct rows so their groups saturate and
+    the per-row working set exceeds the RCC, forcing RCT
+    read-modify-writes. Bounded by design to 2x extra activations per
+    demand activation — the worst case the paper derives.
+    """
+    rng = np.random.default_rng(seed)
+    rows = rng.choice(geometry.total_rows // 2, size=target_rows, replace=False)
+    sequence: List[int] = []
+    for _ in range(rounds):
+        rng.shuffle(rows)
+        sequence.extend(int(r) for r in rows)
+    return sequence
+
+
+def rct_region_attack(
+    geometry: DramGeometry, hammers: int, counter_bytes: int = 1
+) -> List[int]:
+    """Directly hammer the DRAM rows storing the RCT (§5.2.2).
+
+    Hydra guards these with the dedicated RIT-ACT SRAM counters; this
+    pattern exists to verify that the guard mitigates within T_H.
+    """
+    table = RowCountTable(geometry, counter_bytes=counter_bytes)
+    base = table.meta_base_local
+    meta_rows = [
+        bank * geometry.rows_per_bank + base + offset
+        for bank in range(min(2, geometry.total_banks))
+        for offset in range(table.meta_rows_per_bank)
+    ]
+    first_two = meta_rows[:2] if len(meta_rows) >= 2 else meta_rows
+    return list(itertools.islice(itertools.cycle(first_two), hammers))

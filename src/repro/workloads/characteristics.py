@@ -1,0 +1,123 @@
+"""Workload characteristics from Table 3 of the paper.
+
+These per-workload statistics — LLC misses per kilo-instruction, the
+number of unique rows touched per 64 ms window, the number of rows
+receiving more than 250 activations, and the mean activations per
+touched row — fully describe the row-activation distribution each
+workload presents to a RowHammer tracker. The synthetic trace
+generator (:mod:`repro.workloads.synthetic`) is calibrated to them,
+which is what makes this reproduction's tracker-facing behaviour match
+the paper's trace-driven USIMM runs (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+SUITE_SPEC = "SPEC-2017"
+SUITE_PARSEC = "PARSEC"
+SUITE_GAP = "GAP"
+SUITE_KERNEL = "KERNEL"
+
+
+@dataclass(frozen=True)
+class WorkloadCharacteristics:
+    """One row of Table 3 (full-scale, per-64ms-window statistics)."""
+
+    name: str
+    suite: str
+    mpki_llc: float
+    unique_rows: int
+    act250_rows: int
+    acts_per_row: float
+
+    def __post_init__(self) -> None:
+        if self.unique_rows <= 0:
+            raise ValueError("unique_rows must be positive")
+        if self.act250_rows < 0 or self.act250_rows > self.unique_rows:
+            raise ValueError("act250_rows out of range")
+        if self.acts_per_row <= 0:
+            raise ValueError("acts_per_row must be positive")
+
+    @property
+    def total_activations(self) -> int:
+        """Approximate ACTs per window (unique rows x ACTs/row)."""
+        return int(self.unique_rows * self.acts_per_row)
+
+
+def _w(name: str, suite: str, mpki: float, rows: float, hot: int, apr: float):
+    return WorkloadCharacteristics(
+        name=name,
+        suite=suite,
+        mpki_llc=mpki,
+        unique_rows=int(rows * 1000),
+        act250_rows=hot,
+        acts_per_row=apr,
+    )
+
+
+#: The 36 workloads of Table 3, in the paper's order.
+TABLE3: Tuple[WorkloadCharacteristics, ...] = (
+    _w("bwaves", SUITE_SPEC, 39.6, 77.9, 0, 38.6),
+    _w("parest", SUITE_SPEC, 27.6, 13.8, 5882, 237.0),
+    _w("fotonik3d", SUITE_SPEC, 25.9, 212.0, 0, 17.5),
+    _w("lbm", SUITE_SPEC, 25.6, 41.8, 0, 82.1),
+    _w("mcf", SUITE_SPEC, 20.8, 112.0, 0, 28.8),
+    _w("omnetpp", SUITE_SPEC, 9.75, 312.0, 195, 10.7),
+    _w("roms", SUITE_SPEC, 9.15, 115.0, 1169, 22.9),
+    _w("xz", SUITE_SPEC, 5.87, 102.0, 1755, 26.4),
+    _w("cam4", SUITE_SPEC, 3.23, 45.5, 5, 54.1),
+    _w("cactuBSSN", SUITE_SPEC, 3.20, 24.6, 4609, 107.0),
+    _w("xalancbmk", SUITE_SPEC, 1.61, 60.8, 0, 49.8),
+    _w("blender", SUITE_SPEC, 1.52, 52.4, 2288, 58.7),
+    _w("gcc", SUITE_SPEC, 0.65, 144.0, 159, 18.0),
+    _w("nab", SUITE_SPEC, 0.61, 61.9, 0, 31.9),
+    _w("deepsjeng", SUITE_SPEC, 0.29, 802.0, 0, 1.78),
+    _w("x264", SUITE_SPEC, 0.28, 25.0, 0, 34.0),
+    _w("wrf", SUITE_SPEC, 0.27, 19.3, 18, 20.9),
+    _w("namd", SUITE_SPEC, 0.26, 24.7, 0, 34.9),
+    _w("imagick", SUITE_SPEC, 0.16, 10.7, 0, 19.1),
+    _w("perlbench", SUITE_SPEC, 0.09, 25.6, 0, 5.88),
+    _w("leela", SUITE_SPEC, 0.03, 0.72, 0, 2.68),
+    _w("povray", SUITE_SPEC, 0.03, 0.50, 0, 2.28),
+    _w("face", SUITE_PARSEC, 13.2, 49.3, 171, 42.5),
+    _w("ferret", SUITE_PARSEC, 4.93, 48.6, 1206, 47.6),
+    _w("stream", SUITE_PARSEC, 4.51, 43.3, 997, 36.8),
+    _w("swapt", SUITE_PARSEC, 4.14, 43.2, 1023, 38.4),
+    _w("black", SUITE_PARSEC, 4.12, 48.8, 937, 36.2),
+    _w("freq", SUITE_PARSEC, 3.65, 56.5, 1213, 34.9),
+    _w("fluid", SUITE_PARSEC, 2.41, 90.8, 858, 26.0),
+    _w("bc_t", SUITE_GAP, 84.6, 231.0, 9, 13.9),
+    _w("bc_w", SUITE_GAP, 58.3, 129.0, 0, 18.2),
+    _w("cc_t", SUITE_GAP, 43.5, 192.0, 0, 16.7),
+    _w("pr_t", SUITE_GAP, 30.0, 113.0, 0, 18.2),
+    _w("pr_w", SUITE_GAP, 28.6, 98.7, 0, 19.5),
+    _w("cc_w", SUITE_GAP, 16.9, 93.2, 0, 16.6),
+    _w("GUPS", SUITE_KERNEL, 3.85, 69.1, 0, 31.4),
+)
+
+BY_NAME: Dict[str, WorkloadCharacteristics] = {w.name: w for w in TABLE3}
+
+#: Suite membership in the paper's geomean groupings.
+SUITES: Dict[str, List[str]] = {
+    "SPEC(22)": [w.name for w in TABLE3 if w.suite == SUITE_SPEC],
+    "PARSEC(7)": [w.name for w in TABLE3 if w.suite == SUITE_PARSEC],
+    "GAP(6)": [w.name for w in TABLE3 if w.suite == SUITE_GAP],
+    "GUPS(1)": ["GUPS"],
+    "ALL(36)": [w.name for w in TABLE3],
+}
+
+
+def workload(name: str) -> WorkloadCharacteristics:
+    """Look up one Table 3 workload by name."""
+    try:
+        return BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {sorted(BY_NAME)}"
+        ) from None
+
+
+def all_names() -> List[str]:
+    return [w.name for w in TABLE3]

@@ -1,0 +1,55 @@
+"""Tests for the ASCII chart helpers."""
+
+from repro.analysis.charts import bar_chart, comparison_chart, stacked_percentages
+
+
+class TestBarChart:
+    def test_renders_all_labels(self):
+        chart = bar_chart({"alpha": 1.0, "beta": 2.0}, width=10)
+        assert "alpha" in chart and "beta" in chart
+
+    def test_scales_to_peak(self):
+        chart = bar_chart({"small": 1.0, "big": 10.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 1
+
+    def test_overflow_marker_with_fixed_max(self):
+        chart = bar_chart({"x": 5.0}, width=10, max_value=2.0)
+        assert "+" in chart
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_zero_peak_does_not_crash(self):
+        assert "0.00" in bar_chart({"x": 0.0})
+
+
+class TestStackedPercentages:
+    def test_renders_components_in_order(self):
+        rows = {"w1": {"a": 0.5, "b": 0.5}}
+        chart = stacked_percentages(rows, order=["a", "b"], width=10)
+        bar = chart.splitlines()[0]
+        assert "#####" in bar and "=====" in bar
+
+    def test_legend_present(self):
+        rows = {"w1": {"a": 1.0}}
+        chart = stacked_percentages(rows, order=["a"])
+        assert "#=a" in chart
+
+    def test_empty(self):
+        assert stacked_percentages({}) == "(no data)"
+
+
+class TestComparisonChart:
+    def test_pairs_measured_and_paper(self):
+        chart = comparison_chart({"hydra": 0.7}, {"hydra": 0.7})
+        assert chart.count("hydra") == 1
+        assert "measured" in chart and "paper" in chart
+
+    def test_only_common_keys(self):
+        chart = comparison_chart({"a": 1.0, "b": 2.0}, {"a": 1.0})
+        assert "b" not in chart
+
+    def test_empty_intersection(self):
+        assert comparison_chart({"a": 1.0}, {"b": 1.0}) == "(no data)"

@@ -1,0 +1,91 @@
+"""Tests for the markdown reproduction-report generator."""
+
+import json
+
+import pytest
+
+from repro.analysis.report import load_results, render_report, write_report
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "fig5_performance.json").write_text(
+        json.dumps(
+            {
+                "all36_slowdown_percent": {
+                    "graphene": 0.09,
+                    "cra": 16.6,
+                    "hydra": 0.73,
+                }
+            }
+        )
+    )
+    (tmp_path / "fig6_distribution.json").write_text(
+        json.dumps(
+            {"averages": {"gct_only": 0.91, "rcc_hit": 0.082, "rct_access": 0.008}}
+        )
+    )
+    (tmp_path / "sec5_security.json").write_text(
+        json.dumps(
+            {
+                "half-double": {
+                    "secure": True,
+                    "activations": 100,
+                    "mitigations": 5,
+                    "max_unmitigated": 249,
+                }
+            }
+        )
+    )
+    (tmp_path / "table4_hydra_storage.json").write_text(
+        json.dumps({"total_kib": 56.5})
+    )
+    return tmp_path
+
+
+class TestLoadResults:
+    def test_loads_all_json(self, results_dir):
+        results = load_results(results_dir)
+        assert set(results) == {
+            "fig5_performance",
+            "fig6_distribution",
+            "sec5_security",
+            "table4_hydra_storage",
+        }
+
+    def test_missing_dir_is_empty(self, tmp_path):
+        assert load_results(tmp_path / "nope") == {}
+
+    def test_corrupt_json_skipped(self, results_dir):
+        (results_dir / "broken.json").write_text("{nope")
+        results = load_results(results_dir)
+        assert "broken" not in results
+
+
+class TestRenderReport:
+    def test_contains_paper_vs_measured_rows(self, results_dir):
+        text = render_report(load_results(results_dir))
+        assert "hydra avg slowdown" in text
+        assert "0.73%" in text
+        assert "0.7%" in text  # the paper reference
+        assert "56.5 KB" in text
+
+    def test_security_section(self, results_dir):
+        text = render_report(load_results(results_dir))
+        assert "half-double" in text
+        assert "yes" in text
+
+    def test_flags_missing_experiments(self, results_dir):
+        text = render_report(load_results(results_dir))
+        assert "fig7_trh_sensitivity" in text  # listed as missing
+
+    def test_empty_results_still_renders(self):
+        text = render_report({})
+        assert text.startswith("# Reproduction report")
+
+
+class TestWriteReport:
+    def test_writes_file(self, results_dir, tmp_path):
+        out = tmp_path / "report.md"
+        text = write_report(results_dir, out)
+        assert out.read_text() == text

@@ -1,0 +1,55 @@
+"""Tests for the CACTI-flavoured SRAM power model (§6.8)."""
+
+import pytest
+
+from repro.analysis.sram_power import (
+    hydra_sram_power,
+    read_energy_pj,
+    sram_power,
+)
+from repro.core.config import HydraConfig
+
+
+class TestModelShape:
+    def test_energy_grows_with_capacity(self):
+        assert read_energy_pj(64 * 1024) > read_energy_pj(8 * 1024)
+
+    def test_energy_grows_with_associativity(self):
+        assert read_energy_pj(8 * 1024, ways=16) > read_energy_pj(8 * 1024, ways=1)
+
+    def test_leakage_linear_in_capacity(self):
+        small = sram_power(16 * 1024, 0.0)
+        large = sram_power(32 * 1024, 0.0)
+        assert large.leakage_mw == pytest.approx(2 * small.leakage_mw)
+
+    def test_dynamic_scales_with_rate(self):
+        slow = sram_power(32 * 1024, 1e6)
+        fast = sram_power(32 * 1024, 1e8)
+        assert fast.dynamic_mw == pytest.approx(100 * slow.dynamic_mw)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            read_energy_pj(0)
+        with pytest.raises(ValueError):
+            read_energy_pj(1024, ways=0)
+        with pytest.raises(ValueError):
+            sram_power(1024, -1.0)
+
+
+class TestPaperCalibration:
+    def test_hydra_totals_near_paper_values(self):
+        """§6.8: GCT ~10.6 mW, RCC ~8 mW, total ~18.6 mW at 22 nm.
+
+        The analytic model should land within a factor-of-2 band of
+        CACTI's numbers — the paper's conclusion (negligible) only
+        needs the order of magnitude.
+        """
+        gct, rcc = hydra_sram_power(HydraConfig())
+        assert gct.total_mw == pytest.approx(10.6, rel=0.5)
+        assert rcc.total_mw == pytest.approx(8.0, rel=0.5)
+        assert gct.total_mw + rcc.total_mw == pytest.approx(18.6, rel=0.4)
+
+    def test_power_is_negligible_versus_dram(self):
+        """DRAM ranks burn watts; Hydra's SRAM burns milliwatts."""
+        gct, rcc = hydra_sram_power(HydraConfig())
+        assert (gct.total_mw + rcc.total_mw) / 1000.0 < 0.05

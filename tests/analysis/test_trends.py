@@ -1,0 +1,53 @@
+"""Tests for the T_RH trend data and projection (Figure 1a)."""
+
+import pytest
+
+from repro.analysis.trends import (
+    OBSERVATIONS,
+    decay_rate_per_year,
+    projected_trh,
+    trend_rows,
+    years_until_threshold,
+)
+
+
+class TestObservations:
+    def test_anchor_points(self):
+        by_year = {obs.year: obs for obs in OBSERVATIONS}
+        assert by_year[2014].trh == 139_000  # DDR3, Kim et al.
+        assert by_year[2020].trh == 4_800  # LPDDR4
+
+    def test_monotonically_decreasing(self):
+        values = [obs.trh for obs in OBSERVATIONS]
+        assert values == sorted(values, reverse=True)
+
+
+class TestProjection:
+    def test_decay_rate_negative(self):
+        assert decay_rate_per_year() < 0
+
+    def test_trend_spans_order_of_magnitude_drop(self):
+        """§2.2: more than 10x reduction over the observed period."""
+        assert OBSERVATIONS[0].trh / OBSERVATIONS[-1].trh > 10
+
+    def test_projection_continues_downward(self):
+        assert projected_trh(2024) < OBSERVATIONS[-1].trh
+
+    def test_ultra_low_regime_within_reach(self):
+        """The paper's motivating claim: T_RH=500 is a near-future
+        threshold, not a distant hypothetical."""
+        assert years_until_threshold(500) < 10
+
+    def test_years_until_current_threshold_is_zero(self):
+        assert years_until_threshold(10_000) == 0.0
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            years_until_threshold(0)
+
+
+class TestRows:
+    def test_rows_include_projection(self):
+        rows = trend_rows()
+        assert len(rows) == len(OBSERVATIONS) + 1
+        assert "projected" in rows[-1]["technology"]

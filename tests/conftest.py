@@ -1,0 +1,44 @@
+"""Shared fixtures: small-but-structurally-faithful test systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import HydraConfig
+from repro.dram.timing import DramGeometry, DramTiming
+
+
+@pytest.fixture
+def small_geometry() -> DramGeometry:
+    """A tiny system that keeps the full structural ratios.
+
+    2 channels x 1 rank x 4 banks, 1024 rows/bank, 256 B rows:
+    row-groups of 128 rows still span two 64 B metadata lines, and
+    each bank still has several metadata rows.
+    """
+    return DramGeometry(
+        channels=2,
+        ranks_per_channel=1,
+        banks_per_rank=4,
+        rows_per_bank=1024,
+        row_size_bytes=256,
+        line_size_bytes=64,
+    )
+
+
+@pytest.fixture
+def fast_timing() -> DramTiming:
+    """Paper timing with a short (1 ms) tracking window for tests."""
+    return DramTiming().scaled(1.0 / 64.0)
+
+
+@pytest.fixture
+def small_hydra_config(small_geometry: DramGeometry) -> HydraConfig:
+    """Hydra on the small system: 64-entry GCT (groups of 128 rows)."""
+    return HydraConfig(
+        geometry=small_geometry,
+        trh=500,
+        gct_entries=64,
+        rcc_entries=64,
+        rcc_ways=8,
+    )

@@ -1,0 +1,119 @@
+"""Tests for the Group-Count Table, including the Lemma-1 property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gct import GroupCountTable
+
+
+def make_gct(entries=8, threshold=10, group_size=16) -> GroupCountTable:
+    return GroupCountTable(entries, threshold, group_size)
+
+
+class TestIndexing:
+    def test_rows_with_same_msbs_share_group(self):
+        gct = make_gct(group_size=16)
+        assert gct.group_of(0) == gct.group_of(15)
+        assert gct.group_of(15) != gct.group_of(16)
+
+    def test_group_of_matches_update_target(self):
+        gct = make_gct()
+        gct.update(33)
+        assert gct.value(33) == 1
+        assert gct.value(32) == 1  # same group
+        assert gct.value(48) == 0  # next group
+
+
+class TestUpdateSemantics:
+    def test_counts_up_to_threshold(self):
+        gct = make_gct(threshold=3)
+        assert gct.update(0) == 1
+        assert gct.update(0) == 2
+        assert gct.update(0) == 3  # saturation on THIS update
+
+    def test_saturated_sentinel(self):
+        gct = make_gct(threshold=3)
+        for _ in range(3):
+            gct.update(0)
+        assert gct.update(0) == 4  # threshold + 1 sentinel
+        assert gct.value(0) == 3  # counter itself stays at T_G
+
+    def test_saturation_counted_once(self):
+        gct = make_gct(threshold=2)
+        gct.update(0)
+        gct.update(0)
+        gct.update(0)
+        assert gct.saturated_groups == 1
+
+    def test_is_saturated(self):
+        gct = make_gct(threshold=2)
+        assert not gct.is_saturated(5)
+        gct.update(5)
+        gct.update(5)
+        assert gct.is_saturated(5)
+
+    def test_groups_independent(self):
+        gct = make_gct(threshold=2, group_size=16)
+        gct.update(0)
+        gct.update(0)
+        assert not gct.is_saturated(16)
+
+
+class TestReset:
+    def test_reset_clears_counts_and_saturation(self):
+        gct = make_gct(threshold=1)
+        gct.update(0)
+        gct.reset()
+        assert gct.value(0) == 0
+        assert gct.saturated_groups == 0
+        assert gct.update(0) == 1
+
+
+class TestStorage:
+    def test_one_byte_entries_at_default_tg(self):
+        """Table 4: 32K entries at T_G=200 cost 32 KB."""
+        gct = GroupCountTable(32768, 200, 128)
+        assert gct.sram_bytes() == 32 * 1024
+
+    def test_wider_entries_above_255(self):
+        gct = GroupCountTable(1024, 400, 128)
+        assert gct.sram_bytes() == 2048
+
+
+class TestValidation:
+    def test_rejects_non_power_of_two_group(self):
+        with pytest.raises(ValueError):
+            GroupCountTable(8, 10, 100)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            GroupCountTable(0, 10, 16)
+        with pytest.raises(ValueError):
+            GroupCountTable(8, 0, 16)
+
+
+class TestLemma1Property:
+    """Lemma-1: while a group is below T_G, its GCT value is >= the
+    true activation count of every individual row in the group."""
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=127), min_size=1, max_size=400
+        )
+    )
+    @settings(max_examples=100)
+    def test_gct_value_bounds_every_row_count(self, activations):
+        threshold = 50
+        gct = GroupCountTable(entries=8, threshold=threshold, group_size=16)
+        true_counts = {}
+        for row in activations:
+            state = gct.update(row)
+            true_counts[row] = true_counts.get(row, 0) + 1
+            if state <= threshold:
+                # Group not yet saturated: GCT value must dominate
+                # every row's true count in the group.
+                group = gct.group_of(row)
+                for other, count in true_counts.items():
+                    if gct.group_of(other) == group:
+                        assert gct.value(other) >= count

@@ -1,0 +1,236 @@
+"""Tests for the assembled Hydra tracker (Figure 4 paths, §4.5-4.6)."""
+
+import pytest
+
+from repro.core.config import HydraConfig
+from repro.core.hydra import HydraTracker
+from repro.dram.timing import DramGeometry
+
+GEOMETRY = DramGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    banks_per_rank=2,
+    rows_per_bank=1024,
+    row_size_bytes=256,
+)
+
+
+def make_tracker(**overrides) -> HydraTracker:
+    defaults = dict(
+        geometry=GEOMETRY,
+        trh=100,  # T_H = 50, T_G = 40
+        gct_entries=16,  # groups of 128 rows
+        rcc_entries=8,
+        rcc_ways=4,
+    )
+    defaults.update(overrides)
+    return HydraTracker(HydraConfig(**defaults))
+
+
+def saturate_group(tracker: HydraTracker, row: int):
+    """Drive the row's group to T_G; returns the saturating response."""
+    response = None
+    for _ in range(tracker.tg):
+        response = tracker.on_activation(row)
+    return response
+
+
+class TestGctPath:
+    def test_cold_rows_filtered_silently(self):
+        tracker = make_tracker()
+        for i in range(tracker.tg - 1):
+            assert tracker.on_activation(0) is None
+        assert tracker.stats.gct_only == tracker.tg - 1
+
+    def test_group_init_on_saturation(self):
+        tracker = make_tracker()
+        response = saturate_group(tracker, 0)
+        assert response is not None
+        assert response.mitigate_rows == ()
+        # Two line reads + two line writes of RCT initialization.
+        assert len(response.meta_accesses) == 2
+        assert sum(a.n_lines for a in response.meta_accesses) == 4
+        assert tracker.stats.group_inits == 1
+
+    def test_rct_initialized_to_tg(self):
+        tracker = make_tracker()
+        saturate_group(tracker, 0)
+        assert all(tracker.rct.read(r) == tracker.tg for r in range(128))
+
+    def test_shared_group_counting(self):
+        """Rows of one group share the counter (aggregate tracking)."""
+        tracker = make_tracker()
+        for _ in range(tracker.tg // 2):
+            tracker.on_activation(0)
+            tracker.on_activation(1)
+        assert tracker.gct.is_saturated(0)
+
+
+class TestPerRowPath:
+    def test_rcc_miss_then_hits(self):
+        tracker = make_tracker()
+        saturate_group(tracker, 0)
+        first = tracker.on_activation(0)  # RCC miss: fetch from RCT
+        assert first is not None
+        assert any(not a.is_write for a in first.meta_accesses)
+        assert tracker.stats.rct_accesses == 1
+        before = tracker.stats.rcc_hits
+        assert tracker.on_activation(0) is None  # now cached
+        assert tracker.stats.rcc_hits == before + 1
+
+    def test_mitigation_at_th(self):
+        tracker = make_tracker()
+        saturate_group(tracker, 0)
+        mitigations = []
+        for _ in range(tracker.th - tracker.tg):
+            response = tracker.on_activation(0)
+            if response and response.mitigate_rows:
+                mitigations.append(response.mitigate_rows)
+        # Counter starts at T_G, so mitigation after T_H - T_G more.
+        assert mitigations == [(0,)]
+        assert tracker.stats.mitigations == 1
+
+    def test_counter_resets_after_mitigation(self):
+        tracker = make_tracker()
+        saturate_group(tracker, 0)
+        for _ in range(tracker.th - tracker.tg):
+            tracker.on_activation(0)
+        # Next mitigation needs a full T_H more activations.
+        count = 0
+        for _ in range(tracker.th):
+            count += 1
+            response = tracker.on_activation(0)
+            if response and response.mitigate_rows:
+                break
+        assert count == tracker.th
+
+    def test_eviction_writes_back_to_rct(self):
+        tracker = make_tracker(rcc_entries=4, rcc_ways=1)
+        saturate_group(tracker, 0)
+        tracker.on_activation(0)  # row 0 resident, count T_G + 1
+        # Row 4 maps to the same single-way set (4 sets): evicts row 0.
+        response = tracker.on_activation(4)
+        assert response is not None
+        writes = [a for a in response.meta_accesses if a.is_write]
+        assert writes, "dirty eviction must write back"
+        assert tracker.rct.read(0) == tracker.tg + 1
+
+
+class TestWindowReset:
+    def test_gct_and_rcc_cleared(self):
+        tracker = make_tracker()
+        saturate_group(tracker, 0)
+        tracker.on_activation(0)
+        tracker.on_window_reset()
+        assert not tracker.gct.is_saturated(0)
+        assert tracker.rcc.occupancy() == 0
+        assert tracker.on_activation(0) is None  # back on the GCT path
+
+    def test_rct_not_reset(self):
+        """§4.6: RCT entries keep stale values after the reset."""
+        tracker = make_tracker()
+        saturate_group(tracker, 0)
+        tracker.on_window_reset()
+        assert tracker.rct.read(0) == tracker.tg
+
+    def test_stale_rct_overwritten_on_next_saturation(self):
+        tracker = make_tracker()
+        saturate_group(tracker, 0)
+        for _ in range(5):
+            tracker.on_activation(0)
+        tracker.on_window_reset()
+        saturate_group(tracker, 0)
+        assert tracker.rct.read(0) == tracker.tg
+
+
+class TestAblations:
+    def test_nogct_goes_straight_to_per_row(self):
+        tracker = make_tracker(enable_gct=False)
+        response = tracker.on_activation(0)
+        assert response is not None  # RCC miss -> RCT fetch
+        assert tracker.stats.gct_only == 0
+        assert tracker.name == "hydra-nogct"
+
+    def test_nogct_resets_rct_each_window(self):
+        tracker = make_tracker(enable_gct=False)
+        for _ in range(10):
+            tracker.on_activation(0)
+        tracker.on_window_reset()
+        assert tracker.rct.read(0) == 0
+
+    def test_nogct_mitigates_at_th(self):
+        tracker = make_tracker(enable_gct=False)
+        responses = [
+            tracker.on_activation(0) for _ in range(tracker.th)
+        ]
+        assert responses[-1].mitigate_rows == (0,)
+
+    def test_norcc_does_rmw_per_activation(self):
+        tracker = make_tracker(enable_rcc=False)
+        saturate_group(tracker, 0)
+        response = tracker.on_activation(0)
+        kinds = [(a.is_write, a.n_lines) for a in response.meta_accesses]
+        assert kinds == [(False, 1), (True, 1)]
+        assert tracker.name == "hydra-norcc"
+
+    def test_norcc_mitigates_at_th(self):
+        tracker = make_tracker(enable_rcc=False)
+        saturate_group(tracker, 0)
+        mitigated = 0
+        for _ in range(tracker.th - tracker.tg):
+            response = tracker.on_activation(0)
+            if response.mitigate_rows:
+                mitigated += 1
+        assert mitigated == 1
+
+
+class TestRitActGuard:
+    def test_meta_row_activations_guarded(self):
+        """§5.2.2: hammering the RCT's own rows triggers mitigation."""
+        tracker = make_tracker()
+        meta_row = tracker.rct.meta_row_of(0)
+        responses = [
+            tracker.on_activation(meta_row) for _ in range(tracker.th)
+        ]
+        assert responses[-1].mitigate_rows == (meta_row,)
+        assert tracker.stats.rit_act_activations == tracker.th
+
+    def test_guard_resets_with_window(self):
+        tracker = make_tracker()
+        meta_row = tracker.rct.meta_row_of(0)
+        for _ in range(tracker.th - 1):
+            tracker.on_activation(meta_row)
+        tracker.on_window_reset()
+        assert tracker.on_activation(meta_row) is None
+
+
+class TestStatsAndStorage:
+    def test_distribution_sums_to_one(self):
+        tracker = make_tracker()
+        saturate_group(tracker, 0)
+        for _ in range(10):
+            tracker.on_activation(0)
+        dist = tracker.stats.distribution()
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_empty_distribution(self):
+        assert make_tracker().stats.distribution() == {
+            "gct_only": 0.0,
+            "rcc_hit": 0.0,
+            "rct_access": 0.0,
+        }
+
+    def test_sram_bytes_counts_enabled_structures(self):
+        full = make_tracker().sram_bytes()
+        nogct = make_tracker(enable_gct=False).sram_bytes()
+        norcc = make_tracker(enable_rcc=False).sram_bytes()
+        assert nogct < full
+        assert norcc < full
+
+    def test_dram_reserved_matches_rct(self):
+        tracker = make_tracker()
+        assert tracker.dram_reserved_bytes() == tracker.rct.dram_reserved_bytes()
+
+    def test_mitigation_count_interface(self):
+        tracker = make_tracker()
+        assert tracker.mitigation_count() == 0

@@ -1,0 +1,134 @@
+"""Tests for the Row-Count Cache (row-tagged, SRRIP)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rcc import RowCountCache
+
+
+class TestBasicOperation:
+    def test_miss_then_hit(self):
+        rcc = RowCountCache(entries=16, ways=4)
+        assert rcc.lookup(7) is None
+        rcc.install(7, 42)
+        assert rcc.lookup(7) == 42
+        assert rcc.hits == 1
+        assert rcc.misses == 1
+
+    def test_write_updates_resident_entry(self):
+        rcc = RowCountCache(entries=16, ways=4)
+        rcc.install(7, 1)
+        rcc.write(7, 99)
+        assert rcc.lookup(7) == 99
+
+    def test_write_to_absent_row_raises(self):
+        rcc = RowCountCache(entries=16, ways=4)
+        with pytest.raises(KeyError):
+            rcc.write(7, 1)
+
+    def test_install_into_free_way_evicts_nothing(self):
+        rcc = RowCountCache(entries=16, ways=4)
+        assert rcc.install(7, 1) is None
+
+    def test_eviction_returns_dirty_victim(self):
+        rcc = RowCountCache(entries=4, ways=4)  # single set
+        for row in range(4):
+            rcc.install(row, row * 10)
+        victim = rcc.install(99, 5)
+        assert victim is not None
+        victim_row, victim_count = victim
+        assert victim_row in range(4)
+        assert victim_count == victim_row * 10
+        assert rcc.evictions == 1
+
+    def test_reinstall_resident_row_keeps_capacity(self):
+        rcc = RowCountCache(entries=4, ways=4)
+        rcc.install(1, 10)
+        assert rcc.install(1, 20) is None
+        assert rcc.lookup(1) == 20
+        assert rcc.occupancy() == 1
+
+
+class TestSetMapping:
+    def test_rows_map_by_modulo(self):
+        rcc = RowCountCache(entries=8, ways=2)  # 4 sets
+        # Rows 0 and 4 collide; 0,4,8 overflow the 2-way set.
+        rcc.install(0, 1)
+        rcc.install(4, 2)
+        victim = rcc.install(8, 3)
+        assert victim is not None
+
+    def test_different_sets_do_not_interfere(self):
+        rcc = RowCountCache(entries=8, ways=2)
+        rcc.install(0, 1)
+        rcc.install(1, 2)
+        rcc.install(2, 3)
+        assert rcc.occupancy() == 3
+        assert rcc.evictions == 0
+
+
+class TestSrrip:
+    def test_recently_hit_entry_survives(self):
+        rcc = RowCountCache(entries=4, ways=4)
+        for row in range(4):
+            rcc.install(row, row)
+        rcc.lookup(0)  # promote row 0 (RRPV -> 0)
+        victim_row, _ = rcc.install(99, 0)
+        assert victim_row != 0
+
+    def test_victim_is_stale_insertion(self):
+        rcc = RowCountCache(entries=4, ways=4)
+        for row in range(4):
+            rcc.install(row, row)
+        for row in range(3):
+            rcc.lookup(row)  # rows 0-2 promoted, row 3 stale
+        victim_row, _ = rcc.install(99, 0)
+        assert victim_row == 3
+
+
+class TestReset:
+    def test_reset_drops_everything(self):
+        rcc = RowCountCache(entries=16, ways=4)
+        for row in range(10):
+            rcc.install(row, row)
+        rcc.reset()
+        assert rcc.occupancy() == 0
+        assert rcc.lookup(0) is None
+
+
+class TestStorage:
+    def test_table4_rcc_cost(self):
+        """Table 4: 8K entries x 3 bytes = 24 KB."""
+        assert RowCountCache(entries=8192, ways=16).sram_bytes() == 24 * 1024
+
+
+class TestValidation:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            RowCountCache(entries=0, ways=4)
+        with pytest.raises(ValueError):
+            RowCountCache(entries=10, ways=4)
+
+
+class TestCapacityInvariant:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=200),
+                st.integers(min_value=0, max_value=250),
+            ),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=60)
+    def test_occupancy_never_exceeds_capacity(self, operations):
+        rcc = RowCountCache(entries=16, ways=4)
+        for row, count in operations:
+            if rcc.lookup(row) is None:
+                rcc.install(row, count)
+            else:
+                rcc.write(row, count)
+            assert rcc.occupancy() <= rcc.entries
+            for set_index in range(rcc.sets):
+                assert len(rcc._data[set_index]) <= rcc.ways

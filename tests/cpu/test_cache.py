@@ -1,0 +1,97 @@
+"""Tests for the shared LLC model."""
+
+import pytest
+
+from repro.cpu.cache import LastLevelCache
+
+
+def make_cache(capacity=16 * 64, ways=16) -> LastLevelCache:
+    return LastLevelCache(capacity_bytes=capacity, ways=ways)
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        hit, wb = cache.access(0)
+        assert not hit and wb is None
+        hit, _ = cache.access(0)
+        assert hit
+
+    def test_same_line_different_bytes_hit(self):
+        cache = make_cache()
+        cache.access(0)
+        hit, _ = cache.access(63)
+        assert hit
+
+    def test_adjacent_lines_are_distinct(self):
+        cache = make_cache()
+        cache.access(0)
+        hit, _ = cache.access(64)
+        assert not hit
+
+    def test_paper_default_geometry(self):
+        cache = LastLevelCache()
+        assert cache.capacity_bytes == 8 * 1024 * 1024
+        assert cache.ways == 16
+
+
+class TestWriteback:
+    def test_dirty_eviction_returns_address(self):
+        cache = make_cache()  # one 16-way set
+        cache.access(0, is_write=True)
+        for line in range(1, 16):
+            cache.access(line * 64)
+        _, wb = cache.access(16 * 64)
+        assert wb == 0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_silent(self):
+        cache = make_cache()
+        for line in range(16):
+            cache.access(line * 64)
+        _, wb = cache.access(16 * 64)
+        assert wb is None
+
+    def test_write_hit_marks_dirty(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.access(0, is_write=True)
+        for line in range(1, 16):
+            cache.access(line * 64)
+        _, wb = cache.access(16 * 64)
+        assert wb == 0
+
+
+class TestLru:
+    def test_recently_used_survives(self):
+        cache = make_cache()
+        for line in range(16):
+            cache.access(line * 64)
+        cache.access(0)  # promote line 0
+        cache.access(16 * 64)  # evicts line 1, not 0
+        hit, _ = cache.access(0)
+        assert hit
+        hit, _ = cache.access(64)
+        assert not hit
+
+
+class TestStatsAndFlush:
+    def test_miss_rate(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_flush_counts_dirty_lines(self):
+        cache = make_cache()
+        cache.access(0, is_write=True)
+        cache.access(64)
+        assert cache.flush() == 1
+        hit, _ = cache.access(0)
+        assert not hit
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            LastLevelCache(capacity_bytes=100, ways=16)
+        with pytest.raises(ValueError):
+            LastLevelCache(capacity_bytes=0)

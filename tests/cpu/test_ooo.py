@@ -1,0 +1,91 @@
+"""Tests for the ROB-occupancy-aware OoO core model."""
+
+import pytest
+
+from repro.cpu.core import LimitedMlpCore
+from repro.cpu.ooo import OooCore, OooCoreParams
+from repro.dram.timing import DramGeometry, DramTiming
+from repro.memctrl.controller import MemoryController
+
+GEOMETRY = DramGeometry(
+    channels=2,
+    ranks_per_channel=1,
+    banks_per_rank=2,
+    rows_per_bank=1024,
+    row_size_bytes=256,
+)
+TIMING = DramTiming().scaled(1 / 64)
+
+
+def make_controller() -> MemoryController:
+    return MemoryController(GEOMETRY, TIMING)
+
+
+def trace_of(rows, gap=10.0):
+    return [(gap, row, 1, False) for row in rows]
+
+
+class TestWindowSizing:
+    def test_dense_misses_expose_full_mlp(self):
+        core = OooCore(OooCoreParams(mshrs=16))
+        assert core.window_for_gap(1.0) == 16
+
+    def test_sparse_misses_shrink_window(self):
+        """One miss per 2x ROB of instructions: MLP collapses to ~1
+        per core (ROB fills with non-memory work)."""
+        params = OooCoreParams(rob_size=160, cores=8, mshrs=32)
+        core = OooCore(params)
+        sparse = core.window_for_gap(8 * 320.0)
+        dense = core.window_for_gap(8 * 10.0)
+        assert sparse < dense
+        assert sparse >= 1
+
+    def test_window_never_exceeds_mshrs(self):
+        core = OooCore(OooCoreParams(mshrs=8))
+        assert core.window_for_gap(0.5) == 8
+
+
+class TestRun:
+    def test_empty(self):
+        result = OooCore().run([], make_controller())
+        assert result.requests == 0
+
+    def test_dense_trace_matches_fixed_mlp_model(self):
+        """When the window is MSHR-capped, OoO and fixed-MLP models
+        should agree closely."""
+        rows = [i % 64 for i in range(1000)]
+        params = OooCoreParams(mshrs=16)
+        ooo = OooCore(params).run(trace_of(rows, gap=0.5), make_controller())
+        mlp = LimitedMlpCore(mlp=16).run(trace_of(rows, gap=0.5), make_controller())
+        assert ooo.end_time_ns == pytest.approx(mlp.end_time_ns, rel=0.05)
+
+    def test_sparse_trace_is_latency_bound(self):
+        """Huge gaps: execution time is the sum of gaps regardless of
+        the memory system."""
+        rows = list(range(50))
+        result = OooCore().run(trace_of(rows, gap=5000.0), make_controller())
+        assert result.end_time_ns == pytest.approx(50 * 5000.0, rel=0.05)
+
+    def test_latency_sensitivity_grows_when_window_small(self):
+        """With a tiny ROB, the same bank-conflict-heavy trace takes
+        longer than with a large one."""
+        rows = [0, 1] * 400  # same bank, alternating rows
+        small = OooCore(OooCoreParams(rob_size=8, cores=1, mshrs=2)).run(
+            trace_of(rows, gap=1.0), make_controller()
+        )
+        large = OooCore(OooCoreParams(rob_size=512, cores=8, mshrs=32)).run(
+            trace_of(rows, gap=1.0), make_controller()
+        )
+        assert small.end_time_ns > large.end_time_ns
+
+
+class TestParams:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            OooCoreParams(rob_size=0)
+        with pytest.raises(ValueError):
+            OooCoreParams(frequency_ghz=0.0)
+
+    def test_dispatch_rate(self):
+        params = OooCoreParams(cores=8, width=4, frequency_ghz=3.2)
+        assert params.dispatch_per_ns == pytest.approx(102.4)

@@ -1,0 +1,101 @@
+"""Tests for global-row-id address mapping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.address import AddressMapper, DramCoordinates
+from repro.dram.timing import DramGeometry
+
+GEOMETRY = DramGeometry(
+    channels=2,
+    ranks_per_channel=1,
+    banks_per_rank=4,
+    rows_per_bank=1024,
+    row_size_bytes=256,
+)
+
+
+@pytest.fixture
+def mapper() -> AddressMapper:
+    return AddressMapper(GEOMETRY)
+
+
+class TestEncodeDecode:
+    def test_row_zero(self, mapper):
+        coords = mapper.decode(0)
+        assert coords == DramCoordinates(channel=0, rank=0, bank=0, row=0)
+
+    def test_last_row(self, mapper):
+        coords = mapper.decode(mapper.total_rows - 1)
+        assert coords.channel == GEOMETRY.channels - 1
+        assert coords.bank == GEOMETRY.banks_per_rank - 1
+        assert coords.row == GEOMETRY.rows_per_bank - 1
+
+    def test_consecutive_rows_share_bank(self, mapper):
+        """Adjacent row ids must be physically adjacent in one bank —
+        the property Hydra's GCT grouping relies on (§4.4)."""
+        a = mapper.decode(100)
+        b = mapper.decode(101)
+        assert (a.channel, a.rank, a.bank) == (b.channel, b.rank, b.bank)
+        assert b.row == a.row + 1
+
+    @given(st.integers(min_value=0, max_value=GEOMETRY.total_rows - 1))
+    @settings(max_examples=200)
+    def test_roundtrip(self, row_id):
+        mapper = AddressMapper(GEOMETRY)
+        assert mapper.encode(mapper.decode(row_id)) == row_id
+
+    def test_decode_rejects_out_of_range(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.decode(mapper.total_rows)
+        with pytest.raises(ValueError):
+            mapper.decode(-1)
+
+    def test_encode_rejects_bad_coordinates(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.encode(DramCoordinates(channel=9, rank=0, bank=0, row=0))
+
+
+class TestNeighbors:
+    def test_interior_row_has_full_blast_radius(self, mapper):
+        victims = mapper.neighbors(500, blast_radius=2)
+        assert victims == [498, 499, 501, 502]
+
+    def test_aggressor_itself_excluded(self, mapper):
+        assert 500 not in mapper.neighbors(500, blast_radius=2)
+
+    def test_bank_edge_clips(self, mapper):
+        victims = mapper.neighbors(0, blast_radius=2)
+        assert victims == [1, 2]
+
+    def test_no_cross_bank_victims(self, mapper):
+        last_of_bank0 = GEOMETRY.rows_per_bank - 1
+        victims = mapper.neighbors(last_of_bank0, blast_radius=2)
+        assert all(v < GEOMETRY.rows_per_bank for v in victims)
+
+    def test_zero_radius(self, mapper):
+        assert mapper.neighbors(500, blast_radius=0) == []
+
+    def test_negative_radius_rejected(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.neighbors(500, blast_radius=-1)
+
+
+class TestPhysicalAddresses:
+    def test_row_of_address_roundtrip(self, mapper):
+        addr = mapper.physical_address(37, column_byte=128)
+        assert mapper.row_of_address(addr) == 37
+
+    def test_bank_index_matches_decode(self, mapper):
+        for row_id in (0, 1023, 1024, 4095, 4096):
+            coords = mapper.decode(row_id)
+            flat = (
+                coords.channel * GEOMETRY.ranks_per_channel
+                + coords.rank
+            ) * GEOMETRY.banks_per_rank + coords.bank
+            assert mapper.bank_index(row_id) == flat
+
+    def test_column_out_of_range(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.physical_address(0, column_byte=GEOMETRY.row_size_bytes)

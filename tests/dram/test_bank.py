@@ -1,0 +1,152 @@
+"""Tests for the event-driven bank / bus / refresh timing models."""
+
+import pytest
+
+from repro.dram.bank import Bank, ChannelBus, DramActivityStats, RefreshTimeline
+from repro.dram.timing import DramTiming
+
+TIMING = DramTiming()
+
+
+@pytest.fixture
+def bank() -> Bank:
+    return Bank(TIMING, RefreshTimeline(TIMING))
+
+
+@pytest.fixture
+def bus() -> ChannelBus:
+    return ChannelBus(TIMING)
+
+
+def start_time() -> float:
+    """A time safely outside the t=0 refresh blackout."""
+    return TIMING.t_rfc + 10.0
+
+
+class TestBankAccess:
+    def test_first_access_activates(self, bank, bus):
+        result = bank.access(start_time(), row=5, n_lines=1, bus=bus)
+        assert result.activated
+        assert bank.stats.activations == 1
+        assert bank.open_row == 5
+
+    def test_row_hit_skips_activation(self, bank, bus):
+        t = start_time()
+        first = bank.access(t, row=5, n_lines=1, bus=bus)
+        second = bank.access(first.completion, row=5, n_lines=1, bus=bus)
+        assert not second.activated
+        assert bank.stats.row_buffer_hits == 1
+        assert second.completion > first.completion
+
+    def test_row_miss_pays_precharge_plus_activate(self, bank, bus):
+        t = start_time()
+        bank.access(t, row=5, n_lines=1, bus=bus)
+        miss = bank.access(t, row=6, n_lines=1, bus=bus)
+        # PRE + ACT + tRCD + tCAS + burst at minimum.
+        minimum = TIMING.t_rp + TIMING.t_rcd + TIMING.t_cas + TIMING.t_burst
+        assert miss.completion - t >= minimum
+        assert bank.stats.precharges == 1
+
+    def test_trc_spacing_between_activations(self, bank, bus):
+        t = start_time()
+        first = bank.access(t, row=1, n_lines=1, bus=bus)
+        second = bank.access(t, row=2, n_lines=1, bus=bus)
+        assert second.act_time - first.act_time >= TIMING.t_rc
+
+    def test_row_hit_latency_is_cas_plus_burst(self, bank, bus):
+        t = start_time()
+        first = bank.access(t, row=1, n_lines=1, bus=bus)
+        ready = first.completion
+        hit = bank.access(ready, row=1, n_lines=1, bus=bus)
+        assert hit.completion - ready == pytest.approx(
+            TIMING.t_cas + TIMING.t_burst
+        )
+
+    def test_multi_line_burst_occupies_bus(self, bank, bus):
+        t = start_time()
+        result = bank.access(t, row=1, n_lines=4, bus=bus)
+        assert bus.busy_time == pytest.approx(4 * TIMING.t_burst)
+        assert result.completion >= t + 4 * TIMING.t_burst
+
+    def test_rejects_zero_lines(self, bank, bus):
+        with pytest.raises(ValueError):
+            bank.access(start_time(), row=1, n_lines=0, bus=bus)
+
+    def test_write_counts_write_lines(self, bank, bus):
+        bank.access(start_time(), row=1, n_lines=2, bus=bus, is_write=True)
+        assert bank.stats.write_lines == 2
+        assert bank.stats.read_lines == 0
+
+
+class TestRefreshRow:
+    def test_refresh_closes_row(self, bank, bus):
+        t = start_time()
+        bank.access(t, row=1, n_lines=1, bus=bus)
+        bank.refresh_row(t + 100.0)
+        assert bank.open_row is None
+        assert bank.stats.activations == 2
+
+    def test_refresh_respects_trc(self, bank, bus):
+        t = start_time()
+        first = bank.access(t, row=1, n_lines=1, bus=bus)
+        free_at = bank.refresh_row(t)
+        assert free_at - first.act_time >= TIMING.t_rc
+
+    def test_next_access_after_refresh_activates(self, bank, bus):
+        t = start_time()
+        bank.access(t, row=1, n_lines=1, bus=bus)
+        bank.refresh_row(t + 100.0)
+        result = bank.access(t + 500.0, row=1, n_lines=1, bus=bus)
+        assert result.activated
+
+
+class TestRefreshTimeline:
+    def test_blackout_at_interval_start(self):
+        refresh = RefreshTimeline(TIMING)
+        assert refresh.adjust(0.0) == TIMING.t_rfc
+        assert refresh.adjust(TIMING.t_refi) == TIMING.t_refi + TIMING.t_rfc
+
+    def test_outside_blackout_unchanged(self):
+        refresh = RefreshTimeline(TIMING)
+        t = TIMING.t_rfc + 1.0
+        assert refresh.adjust(t) == t
+
+    def test_refresh_count(self):
+        refresh = RefreshTimeline(TIMING)
+        assert refresh.refreshes_before(0.0) == 0
+        assert refresh.refreshes_before(10 * TIMING.t_refi) == 10
+
+    def test_negative_time_clamped(self):
+        refresh = RefreshTimeline(TIMING)
+        assert refresh.adjust(-5.0) == TIMING.t_rfc
+
+
+class TestChannelBus:
+    def test_serializes_transfers(self):
+        bus = ChannelBus(TIMING)
+        end1 = bus.transfer(0.0, 1)
+        end2 = bus.transfer(0.0, 1)
+        assert end2 == end1 + TIMING.t_burst
+
+    def test_idle_gap_not_counted_busy(self):
+        bus = ChannelBus(TIMING)
+        bus.transfer(0.0, 1)
+        bus.transfer(1000.0, 1)
+        assert bus.busy_time == pytest.approx(2 * TIMING.t_burst)
+        assert bus.utilization(2000.0) == pytest.approx(
+            2 * TIMING.t_burst / 2000.0
+        )
+
+    def test_zero_lines_is_noop(self):
+        bus = ChannelBus(TIMING)
+        assert bus.transfer(5.0, 0) == 5.0
+        assert bus.busy_time == 0.0
+
+
+class TestActivityStats:
+    def test_merge(self):
+        a = DramActivityStats(activations=1, read_lines=2)
+        b = DramActivityStats(activations=3, write_lines=4)
+        a.merge(b)
+        assert a.activations == 4
+        assert a.total_lines == 6

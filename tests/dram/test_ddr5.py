@@ -1,0 +1,66 @@
+"""Tests for the DDR5 presets and their Table 5 consequences."""
+
+import pytest
+
+from repro.core.config import HydraConfig
+from repro.core.hydra import HydraTracker
+from repro.core.storage import hydra_storage
+from repro.dram.ddr5 import DDR5_GEOMETRY, DDR5_TIMING, ddr5_system
+from repro.dram.timing import PAPER_GEOMETRY
+from repro.trackers.graphene import GrapheneTracker
+
+
+class TestGeometry:
+    def test_same_capacity_double_banks(self):
+        assert DDR5_GEOMETRY.capacity_bytes == PAPER_GEOMETRY.capacity_bytes
+        assert DDR5_GEOMETRY.banks_per_rank == 2 * PAPER_GEOMETRY.banks_per_rank
+
+    def test_total_rows_unchanged(self):
+        assert DDR5_GEOMETRY.total_rows == PAPER_GEOMETRY.total_rows
+
+    def test_scaled_system(self):
+        geometry, timing = ddr5_system(1 / 32)
+        assert geometry.banks_per_rank == 32
+        assert timing.refresh_window == DDR5_TIMING.refresh_window / 32
+
+
+class TestTable5Consequences:
+    def test_graphene_doubles_on_ddr5(self):
+        """Per-bank CAM: 2x banks -> 2x entries -> 2x storage."""
+        ddr4 = GrapheneTracker(PAPER_GEOMETRY, trh=500)
+        ddr5 = GrapheneTracker(DDR5_GEOMETRY, trh=500)
+        assert ddr5.sram_bytes() == 2 * ddr4.sram_bytes()
+
+    def test_hydra_storage_unchanged_on_ddr5(self):
+        """Hydra's structures track rows, not banks."""
+        ddr4 = hydra_storage(HydraConfig(geometry=PAPER_GEOMETRY))
+        ddr5 = hydra_storage(HydraConfig(geometry=DDR5_GEOMETRY))
+        assert ddr5.gct_bytes == ddr4.gct_bytes
+        assert ddr5.rcc_bytes == ddr4.rcc_bytes
+        # RIT-ACT still covers 4 MB of counters (512 meta rows).
+        assert ddr5.dram_reserved_bytes == ddr4.dram_reserved_bytes
+
+
+class TestHydraRunsOnDdr5:
+    def test_tracking_and_mitigation(self):
+        geometry, _ = ddr5_system(1 / 64)
+        config = HydraConfig(
+            geometry=geometry,
+            trh=100,
+            gct_entries=geometry.total_rows // 128,
+            rcc_entries=64,
+            rcc_ways=8,
+        )
+        tracker = HydraTracker(config)
+        mitigations = 0
+        for _ in range(400):
+            response = tracker.on_activation(7)
+            if response and response.mitigate_rows:
+                mitigations += 1
+        assert mitigations >= 3
+
+    def test_refresh_duty_comparable(self):
+        assert DDR5_TIMING.refresh_duty == pytest.approx(
+            295.0 / 3900.0
+        )
+        assert DDR5_TIMING.max_activations_per_window() > 1_000_000

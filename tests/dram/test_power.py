@@ -1,0 +1,98 @@
+"""Tests for the Micron IDD-style DRAM power model."""
+
+import pytest
+
+from repro.dram.bank import DramActivityStats
+from repro.dram.power import (
+    DramPowerModel,
+    DramPowerParams,
+    power_overhead_percent,
+)
+from repro.dram.timing import DramTiming
+
+TIMING = DramTiming()
+
+
+@pytest.fixture
+def model() -> DramPowerModel:
+    return DramPowerModel(TIMING)
+
+
+class TestEnergies:
+    def test_all_event_energies_positive(self, model):
+        assert model.energy_per_act > 0
+        assert model.energy_per_read_line > 0
+        assert model.energy_per_write_line > 0
+        assert model.energy_per_refresh > 0
+        assert model.background_power > 0
+
+    def test_refresh_energy_dominates_single_events(self, model):
+        """One REF (350 ns, all banks) costs far more than one ACT."""
+        assert model.energy_per_refresh > 10 * model.energy_per_act
+
+    def test_read_costs_more_than_write_per_line(self, model):
+        # IDD4R > IDD4W in the default parameter set.
+        assert model.energy_per_read_line > model.energy_per_write_line
+
+
+class TestReport:
+    def test_idle_system_is_background_plus_refresh(self, model):
+        stats = DramActivityStats()
+        report = model.report(stats, elapsed_ns=1e6, n_refreshes=100)
+        assert report.dynamic_energy == pytest.approx(
+            model.energy_per_refresh * 100
+        )
+        assert report.background_energy == pytest.approx(
+            model.background_power * 1e-3
+        )
+
+    def test_average_power_scales_with_activity(self, model):
+        light = model.report(
+            DramActivityStats(activations=10), elapsed_ns=1e6, n_refreshes=0
+        )
+        heavy = model.report(
+            DramActivityStats(activations=10_000), elapsed_ns=1e6, n_refreshes=0
+        )
+        assert heavy.average_power > light.average_power
+
+    def test_multi_rank_background(self, model):
+        stats = DramActivityStats()
+        one = model.report(stats, elapsed_ns=1e6, n_refreshes=0, n_ranks=1)
+        two = model.report(stats, elapsed_ns=1e6, n_refreshes=0, n_ranks=2)
+        assert two.background_energy == pytest.approx(2 * one.background_energy)
+
+    def test_zero_elapsed_power_is_zero(self, model):
+        report = model.report(DramActivityStats(), 0.0, 0)
+        assert report.average_power == 0.0
+
+    def test_rejects_negative_inputs(self, model):
+        with pytest.raises(ValueError):
+            model.report(DramActivityStats(), -1.0, 0)
+        with pytest.raises(ValueError):
+            model.report(DramActivityStats(), 1.0, -1)
+
+
+class TestOverhead:
+    def test_extra_traffic_shows_as_overhead(self, model):
+        base = model.report(
+            DramActivityStats(activations=1000, read_lines=5000),
+            elapsed_ns=1e6,
+            n_refreshes=10,
+        )
+        tracked = model.report(
+            DramActivityStats(activations=1050, read_lines=5100),
+            elapsed_ns=1e6,
+            n_refreshes=10,
+        )
+        overhead = power_overhead_percent(base, tracked)
+        assert 0.0 < overhead < 5.0
+
+
+class TestParams:
+    def test_rejects_idd0_below_idd2n(self):
+        with pytest.raises(ValueError):
+            DramPowerParams(idd0=0.01, idd2n=0.02)
+
+    def test_rejects_zero_chips(self):
+        with pytest.raises(ValueError):
+            DramPowerParams(chips_per_rank=0)

@@ -1,0 +1,96 @@
+"""Tests for DDR4 timing parameters and geometry."""
+
+import math
+
+import pytest
+
+from repro.dram.timing import (
+    PAPER_GEOMETRY,
+    PAPER_TIMING,
+    DramGeometry,
+    DramTiming,
+)
+
+
+class TestDramTiming:
+    def test_paper_defaults_match_table2(self):
+        t = PAPER_TIMING
+        assert t.t_rcd == t.t_rp == t.t_cas == 14.0
+        assert t.t_rc == 45.0
+        assert t.t_rfc == 350.0
+        assert t.refresh_window == 64e6  # 64 ms in ns
+
+    def test_act_max_is_about_1_36_million(self):
+        """§2.1: ~1.36M activations per bank per 64 ms window."""
+        act_max = PAPER_TIMING.max_activations_per_window()
+        assert act_max == pytest.approx(1_360_000, rel=0.01)
+
+    def test_act_max_discounts_refresh_time(self):
+        no_refresh = int(PAPER_TIMING.refresh_window // PAPER_TIMING.t_rc)
+        assert PAPER_TIMING.max_activations_per_window() < no_refresh
+
+    def test_refresh_duty_cycle(self):
+        assert PAPER_TIMING.refresh_duty == pytest.approx(350.0 / 7800.0)
+
+    def test_scaled_window_only(self):
+        scaled = PAPER_TIMING.scaled(1 / 32)
+        assert scaled.refresh_window == PAPER_TIMING.refresh_window / 32
+        assert scaled.t_rc == PAPER_TIMING.t_rc
+        assert scaled.t_refi == PAPER_TIMING.t_refi
+
+    @pytest.mark.parametrize("field", ["t_rcd", "t_rp", "t_cas", "t_rc"])
+    def test_rejects_nonpositive_times(self, field):
+        with pytest.raises(ValueError):
+            DramTiming(**{field: 0.0})
+
+    def test_rejects_rfc_longer_than_refi(self):
+        with pytest.raises(ValueError):
+            DramTiming(t_rfc=8000.0, t_refi=7800.0)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            PAPER_TIMING.scaled(0.0)
+
+
+class TestDramGeometry:
+    def test_paper_system_is_32gb(self):
+        assert PAPER_GEOMETRY.capacity_bytes == 32 * 1024**3
+
+    def test_paper_system_has_4m_rows(self):
+        assert PAPER_GEOMETRY.total_rows == 4 * 1024**2
+
+    def test_paper_system_bank_count(self):
+        assert PAPER_GEOMETRY.total_banks == 32
+        assert PAPER_GEOMETRY.rows_per_rank == 16 * 131072
+
+    def test_lines_per_row(self):
+        assert PAPER_GEOMETRY.lines_per_row == 128
+
+    def test_scaled_preserves_banks_and_ratios(self):
+        scaled = PAPER_GEOMETRY.scaled(1 / 32)
+        assert scaled.total_banks == PAPER_GEOMETRY.total_banks
+        assert scaled.rows_per_bank == PAPER_GEOMETRY.rows_per_bank // 32
+        # Row size scales along, preserving metadata-row structure.
+        assert scaled.row_size_bytes == PAPER_GEOMETRY.row_size_bytes // 32
+        assert (
+            scaled.rows_per_bank / scaled.lines_per_row
+            == PAPER_GEOMETRY.rows_per_bank / PAPER_GEOMETRY.lines_per_row
+        )
+
+    def test_scaled_row_size_floor_is_line_size(self):
+        scaled = PAPER_GEOMETRY.scaled(1 / 1024)
+        assert scaled.row_size_bytes >= scaled.line_size_bytes
+
+    def test_rejects_row_not_multiple_of_line(self):
+        with pytest.raises(ValueError):
+            DramGeometry(row_size_bytes=100, line_size_bytes=64)
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValueError):
+            DramGeometry(channels=0)
+
+    def test_scaled_rows_are_power_of_two(self):
+        for denom in (3, 5, 7, 12):
+            scaled = PAPER_GEOMETRY.scaled(1.0 / denom)
+            rows = scaled.rows_per_bank
+            assert rows & (rows - 1) == 0

@@ -1,0 +1,45 @@
+"""Tests for the victim-refresh policy."""
+
+import pytest
+
+from repro.dram.address import AddressMapper
+from repro.dram.timing import DramGeometry
+from repro.memctrl.mitigation import VictimRefreshPolicy
+
+GEOMETRY = DramGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    banks_per_rank=2,
+    rows_per_bank=1024,
+    row_size_bytes=256,
+)
+
+
+@pytest.fixture
+def mapper():
+    return AddressMapper(GEOMETRY)
+
+
+class TestVictimSelection:
+    def test_blast_radius_two(self, mapper):
+        policy = VictimRefreshPolicy(mapper, blast_radius=2)
+        assert policy.victims_of(500) == [498, 499, 501, 502]
+
+    def test_blast_radius_one(self, mapper):
+        policy = VictimRefreshPolicy(mapper, blast_radius=1)
+        assert policy.victims_of(500) == [499, 501]
+
+    def test_edge_rows_clip(self, mapper):
+        policy = VictimRefreshPolicy(mapper, blast_radius=2)
+        assert policy.victims_of(0) == [1, 2]
+
+    def test_stats_accumulate(self, mapper):
+        policy = VictimRefreshPolicy(mapper, blast_radius=2)
+        policy.victims_of(500)
+        policy.victims_of(0)
+        assert policy.stats.mitigations == 2
+        assert policy.stats.victim_refreshes == 6
+
+    def test_rejects_negative_radius(self, mapper):
+        with pytest.raises(ValueError):
+            VictimRefreshPolicy(mapper, blast_radius=-1)

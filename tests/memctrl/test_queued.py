@@ -1,0 +1,141 @@
+"""Tests for the queued FR-FCFS controller."""
+
+import pytest
+
+from repro.core.config import HydraConfig
+from repro.core.hydra import HydraTracker
+from repro.dram.timing import DramGeometry, DramTiming
+from repro.memctrl.controller import MemoryController
+from repro.cpu.core import LimitedMlpCore
+from repro.memctrl.queued import QueuedMemoryController
+
+GEOMETRY = DramGeometry(
+    channels=2,
+    ranks_per_channel=1,
+    banks_per_rank=2,
+    rows_per_bank=1024,
+    row_size_bytes=256,
+)
+TIMING = DramTiming().scaled(1 / 64)
+
+
+def trace_of(rows, gap=10.0, lines=1, writes=None):
+    writes = writes or [False] * len(rows)
+    return [(gap, row, lines, w) for row, w in zip(rows, writes)]
+
+
+def make(**kwargs) -> QueuedMemoryController:
+    return QueuedMemoryController(GEOMETRY, TIMING, **kwargs)
+
+
+class TestBasicExecution:
+    def test_empty_trace(self):
+        result = make().run_trace([], mlp=4)
+        assert result.requests == 0
+        assert result.end_time_ns == 0.0
+
+    def test_counts_all_requests(self):
+        result = make().run_trace(trace_of(list(range(40))), mlp=8)
+        assert result.requests == 40
+        assert result.end_time_ns > 0
+
+    def test_comparable_to_fast_controller(self):
+        """On a plain read stream the two controllers should land in
+        the same ballpark (same banks, same timing)."""
+        rows = [i % 128 for i in range(2000)]
+        queued = make().run_trace(trace_of(rows, gap=5.0), mlp=16)
+        fast_mc = MemoryController(GEOMETRY, TIMING)
+        fast = LimitedMlpCore(mlp=16).run(trace_of(rows, gap=5.0), fast_mc)
+        assert queued.end_time_ns == pytest.approx(
+            fast.end_time_ns, rel=0.35
+        )
+
+    def test_rejects_bad_mlp(self):
+        with pytest.raises(ValueError):
+            make().run_trace([], mlp=0)
+
+
+class TestFrFcfs:
+    def test_row_hits_served_out_of_order(self):
+        """A younger row-hit request bypasses an older row-miss —
+        the scheduler must record out-of-order picks."""
+        # Bank 0 rows alternate (misses); one row repeats (hits).
+        rows = []
+        for i in range(16):
+            rows.append((i * 7) % 512)  # churn
+            rows.append(3)  # repeating row: hit candidate
+        mc = make()
+        mc.run_trace(trace_of(rows, gap=0.5), mlp=32)
+        assert mc.stats.row_hit_first_picks > 0
+
+    def test_queue_peak_reflects_mlp(self):
+        mc = make()
+        mc.run_trace(trace_of([i % 512 for i in range(64)], gap=0.1), mlp=32)
+        assert mc.stats.read_queue_peak > 4
+
+
+class TestWriteQueue:
+    def test_writes_retire_immediately_into_queue(self):
+        mc = make()
+        result = mc.run_trace(
+            trace_of([1, 2, 3], writes=[True, True, True]), mlp=4
+        )
+        assert result.requests == 3
+        assert mc.stats.write_queue_peak >= 1
+
+    def test_opportunistic_drain_when_reads_absent(self):
+        mc = make()
+        mc.run_trace(
+            trace_of([1, 2], writes=[True, True]), mlp=4
+        )
+        assert mc.stats.opportunistic_writes >= 1
+
+    def test_forced_drain_at_high_watermark(self):
+        mc = make(write_queue_high=8, write_queue_low=2)
+        rows = list(range(0, 480, 16))
+        mc.run_trace(
+            trace_of(rows, gap=1.0, writes=[True] * len(rows)), mlp=4
+        )
+        assert mc.stats.forced_write_drains >= 1
+
+    def test_rejects_bad_watermarks(self):
+        with pytest.raises(ValueError):
+            make(write_queue_high=4, write_queue_low=4)
+
+
+class TestTrackerIntegration:
+    def test_hydra_mitigations_through_queued_path(self):
+        config = HydraConfig(
+            geometry=GEOMETRY, trh=100, gct_entries=16,
+            rcc_entries=8, rcc_ways=4,
+        )
+        tracker = HydraTracker(config)
+        mc = QueuedMemoryController(GEOMETRY, TIMING, tracker)
+        rows = [500, 502] * 1500  # double-sided hammer
+        mc.run_trace(trace_of(rows, gap=5.0), mlp=8)
+        assert tracker.stats.mitigations > 0
+        assert mc.stats.victim_refreshes >= 4 * tracker.stats.mitigations * 0.5
+
+    def test_meta_writes_enter_write_queue(self):
+        config = HydraConfig(
+            geometry=GEOMETRY, trh=100, gct_entries=16,
+            rcc_entries=8, rcc_ways=4, enable_rcc=False,
+        )
+        tracker = HydraTracker(config)
+        mc = QueuedMemoryController(GEOMETRY, TIMING, tracker)
+        rows = [500, 502] * 400
+        mc.run_trace(trace_of(rows, gap=5.0), mlp=8)
+        assert mc.stats.meta_writes > 0
+        assert mc.stats.meta_reads > 0
+
+    def test_window_reset_fires(self):
+        tracker = HydraTracker(
+            HydraConfig(
+                geometry=GEOMETRY, trh=100, gct_entries=16,
+                rcc_entries=8, rcc_ways=4,
+            )
+        )
+        mc = QueuedMemoryController(GEOMETRY, TIMING, tracker)
+        gap = TIMING.refresh_window / 100
+        mc.run_trace(trace_of([i % 64 for i in range(300)], gap=gap), mlp=4)
+        assert mc.stats.window_resets >= 2

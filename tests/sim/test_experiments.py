@@ -1,0 +1,46 @@
+"""Tests for the named-experiment registry."""
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.experiments import available_experiments, run_experiment
+
+CONFIG = SystemConfig(scale=1 / 256, n_windows=1)
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        names = available_experiments()
+        for expected in (
+            "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "fn4", "table1", "table4", "table5",
+        ):
+            assert expected in names
+
+    def test_unknown_name_raises_with_listing(self):
+        with pytest.raises(KeyError, match="available"):
+            run_experiment("fig99", CONFIG)
+
+
+class TestAnalyticExperiments:
+    """The storage experiments run instantly and return paper shapes."""
+
+    def test_table1(self):
+        payload = run_experiment("table1", CONFIG)
+        assert payload["500"]["Graphene"] == pytest.approx(340, rel=0.02)
+
+    def test_table4(self):
+        payload = run_experiment("table4", CONFIG)
+        assert payload["Total"] == "56.5 KB"
+
+    def test_table5(self):
+        payload = run_experiment("table5", CONFIG)
+        assert payload["Hydra"]["ddr4"] == payload["Hydra"]["ddr5"]
+
+
+class TestSimulationExperiment:
+    def test_fig6_runs_at_tiny_scale(self):
+        payload = run_experiment("fig6", CONFIG)
+        assert len(payload) == 36
+        for dist in payload.values():
+            assert set(dist) == {"gct_only", "rcc_hit", "rct_access"}

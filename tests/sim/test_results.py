@@ -1,0 +1,58 @@
+"""Tests for result records and aggregation."""
+
+import pytest
+
+from repro.sim.results import Comparison, RunResult, geometric_mean
+
+
+class TestComparison:
+    def test_normalized_performance(self):
+        comp = Comparison("w", "t", baseline_ns=100.0, tracked_ns=125.0)
+        assert comp.normalized_performance == pytest.approx(0.8)
+        assert comp.slowdown_percent == pytest.approx(25.0)
+
+    def test_no_slowdown(self):
+        comp = Comparison("w", "t", baseline_ns=100.0, tracked_ns=100.0)
+        assert comp.normalized_performance == 1.0
+        assert comp.slowdown_percent == 0.0
+
+    def test_degenerate_inputs(self):
+        assert Comparison("w", "t", 0.0, 10.0).slowdown_percent == 0.0
+        assert Comparison("w", "t", 10.0, 0.0).normalized_performance == 1.0
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_identity(self):
+        assert geometric_mean([0.9, 0.9, 0.9]) == pytest.approx(0.9)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestRunResultSerialization:
+    def test_roundtrip(self):
+        result = RunResult(
+            workload="xz",
+            tracker="hydra",
+            end_time_ns=1.0,
+            requests=10,
+            average_latency_ns=50.0,
+            demand_line_transfers=20,
+            meta_accesses=3,
+            meta_line_transfers=3,
+            victim_refreshes=4,
+            mitigations=1,
+            window_resets=2,
+            activations=10,
+            bus_utilization=0.5,
+            dram_power_w=3.3,
+            extra={"distribution": {"gct_only": 1.0}},
+        )
+        restored = RunResult.from_dict(result.to_dict())
+        assert restored == result

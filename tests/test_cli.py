@@ -1,0 +1,84 @@
+"""Tests for the hydra-sim command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "quake3"])
+
+
+class TestStorageCommand:
+    def test_prints_tables(self, capsys):
+        assert main(["storage"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "56.5 KB" in out
+        assert "Graphene" in out
+
+
+class TestSecurityCommand:
+    def test_all_patterns_secure(self, capsys):
+        assert main(["security", "--scale-denominator", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "VIOLATED" not in out
+        assert "rct-region" in out
+
+
+class TestExperimentCommand:
+    def test_list_names(self, capsys):
+        assert main(["experiment", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "table1" in out
+
+    def test_analytic_experiment_runs(self, capsys):
+        assert main(["experiment", "table4"]) == 0
+        assert "56.5" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_renders_from_empty_results(self, tmp_path, capsys):
+        assert (
+            main(["report", "--results-dir", str(tmp_path / "none")]) == 0
+        )
+        assert "Reproduction report" in capsys.readouterr().out
+
+    def test_writes_output_file(self, tmp_path):
+        out = tmp_path / "report.md"
+        assert (
+            main(
+                [
+                    "report",
+                    "--results-dir",
+                    str(tmp_path),
+                    "--output",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert out.exists()
+
+
+class TestRunCommand:
+    def test_run_small_workload(self, capsys):
+        code = main(
+            ["run", "leela", "--tracker", "hydra",
+             "--scale-denominator", "256"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "execution time" in out
+        assert "mitigations" in out

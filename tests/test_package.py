@@ -1,0 +1,64 @@
+"""Public-API surface tests: imports, exports, version, metadata."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro.core",
+    "repro.trackers",
+    "repro.dram",
+    "repro.memctrl",
+    "repro.cpu",
+    "repro.workloads",
+    "repro.analysis",
+    "repro.sim",
+]
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_headline_exports(self):
+        assert callable(repro.HydraTracker)
+        assert callable(repro.HydraConfig)
+        assert callable(repro.hydra_storage)
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+class TestSubpackages:
+    def test_imports(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__, f"{package} needs a module docstring"
+
+    def test_all_exports_resolve(self, package):
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            assert getattr(module, name, None) is not None, (package, name)
+
+
+class TestTrackerRegistry:
+    def test_every_functional_tracker_constructible(self):
+        from repro.sim.config import SystemConfig
+        from repro.sim.simulator import make_tracker
+
+        config = SystemConfig(scale=1 / 256)
+        names = (
+            "baseline", "hydra", "hydra-nogct", "hydra-norcc",
+            "hydra-randomized", "graphene", "cra", "ocpr", "para",
+            "dcbf", "cat", "twice", "mithril", "mrloc", "prohit",
+        )
+        for name in names:
+            tracker = make_tracker(name, config)
+            assert tracker.sram_bytes() >= 0, name
+            # Every tracker must survive a handful of activations.
+            for row in range(8):
+                tracker.on_activation(row)
+            tracker.on_window_reset()

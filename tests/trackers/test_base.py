@@ -1,0 +1,49 @@
+"""Tests for the tracker interface types."""
+
+from repro.interfaces import (
+    MetaAccess,
+    NullTracker,
+    TrackerResponse,
+    merge_responses,
+)
+
+
+class TestTrackerResponse:
+    def test_defaults_are_empty(self):
+        response = TrackerResponse()
+        assert response.mitigate_rows == ()
+        assert response.meta_accesses == ()
+        assert response.delay_ns == 0.0
+
+    def test_is_lightweight_tuple(self):
+        response = TrackerResponse(mitigate_rows=(1,))
+        assert isinstance(response, tuple)
+
+
+class TestNullTracker:
+    def test_always_silent(self):
+        tracker = NullTracker()
+        assert all(tracker.on_activation(i) is None for i in range(100))
+        assert tracker.sram_bytes() == 0
+        assert tracker.dram_reserved_bytes() == 0
+        assert tracker.mitigation_count() == 0
+
+    def test_reset_is_noop(self):
+        NullTracker().on_window_reset()
+
+
+class TestMergeResponses:
+    def test_empty_merge_is_none(self):
+        assert merge_responses([TrackerResponse(), TrackerResponse()]) is None
+
+    def test_merge_concatenates(self):
+        merged = merge_responses(
+            [
+                TrackerResponse(mitigate_rows=(1,)),
+                TrackerResponse(
+                    meta_accesses=(MetaAccess(5, 1, False),),
+                ),
+            ]
+        )
+        assert merged.mitigate_rows == (1,)
+        assert merged.meta_accesses == (MetaAccess(5, 1, False),)

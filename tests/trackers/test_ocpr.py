@@ -1,0 +1,66 @@
+"""Tests for OCPR, the exact per-row tracker / storage upper bound."""
+
+import pytest
+
+from repro.dram.timing import DramGeometry
+from repro.trackers.ocpr import OcprTracker
+from repro.trackers.storage import RANK_GEOMETRY, ocpr_bytes_per_rank
+
+GEOMETRY = DramGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    banks_per_rank=2,
+    rows_per_bank=1024,
+    row_size_bytes=256,
+)
+
+
+class TestTracking:
+    def test_exact_mitigation_point(self):
+        tracker = OcprTracker(GEOMETRY, trh=100)
+        for i in range(1, 50):
+            assert tracker.on_activation(3) is None, i
+        response = tracker.on_activation(3)
+        assert response.mitigate_rows == (3,)
+
+    def test_no_cross_row_interference(self):
+        tracker = OcprTracker(GEOMETRY, trh=100)
+        for _ in range(49):
+            tracker.on_activation(3)
+        assert tracker.on_activation(4) is None
+        assert tracker.count_of(3) == 49
+
+    def test_reset_after_mitigation(self):
+        tracker = OcprTracker(GEOMETRY, trh=100)
+        for _ in range(50):
+            tracker.on_activation(3)
+        assert tracker.count_of(3) == 0
+
+    def test_window_reset(self):
+        tracker = OcprTracker(GEOMETRY, trh=100)
+        for _ in range(30):
+            tracker.on_activation(3)
+        tracker.on_window_reset()
+        assert tracker.count_of(3) == 0
+
+    def test_no_metadata_traffic_ever(self):
+        tracker = OcprTracker(GEOMETRY, trh=100)
+        for i in range(200):
+            response = tracker.on_activation(i % 7)
+            assert response is None or response.meta_accesses == ()
+
+
+class TestStorage:
+    @pytest.mark.parametrize(
+        "trh,expected_mib",
+        [(250, 2.0), (500, 2.25), (1000, 2.5), (32000, 3.75)],
+    )
+    def test_table1_ocpr_column(self, trh, expected_mib):
+        """Table 1: OCPR needs R x log2(T_RH) bits per 16 GB rank."""
+        assert ocpr_bytes_per_rank(trh) == pytest.approx(
+            expected_mib * 1024 * 1024, rel=0.01
+        )
+
+    def test_tracker_storage_matches_model(self):
+        tracker = OcprTracker(RANK_GEOMETRY, trh=500)
+        assert tracker.sram_bytes() == ocpr_bytes_per_rank(500)

@@ -1,0 +1,58 @@
+"""Tests for PARA, the stateless probabilistic mitigation (§7.3)."""
+
+import pytest
+
+from repro.trackers.para import ParaTracker, para_probability
+
+
+class TestProbability:
+    def test_formula_inverts_failure_bound(self):
+        p = para_probability(trh=500, failure_exponent=40)
+        assert (1 - p) ** 500 == pytest.approx(2.0**-40, rel=1e-6)
+
+    def test_probability_grows_as_threshold_falls(self):
+        """§7.3: p must increase proportionally as T_RH reduces —
+        the reason PARA gets expensive at ultra-low thresholds."""
+        assert para_probability(125) > para_probability(500) > para_probability(32000)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            para_probability(0)
+        with pytest.raises(ValueError):
+            para_probability(500, failure_exponent=0)
+
+
+class TestTracker:
+    def test_deterministic_with_seed(self):
+        a = ParaTracker(trh=500, seed=1)
+        b = ParaTracker(trh=500, seed=1)
+        seq_a = [bool(a.on_activation(7)) for _ in range(1000)]
+        seq_b = [bool(b.on_activation(7)) for _ in range(1000)]
+        assert seq_a == seq_b
+
+    def test_mitigation_rate_near_p(self):
+        tracker = ParaTracker(trh=500, probability=0.05, seed=3)
+        n = 20_000
+        for _ in range(n):
+            tracker.on_activation(1)
+        rate = tracker.mitigations / n
+        assert rate == pytest.approx(0.05, rel=0.15)
+
+    def test_expected_mitigations_helper(self):
+        tracker = ParaTracker(trh=500, probability=0.1)
+        assert tracker.expected_mitigations(1000) == pytest.approx(100.0)
+
+    def test_failure_probability_decreases_with_activations(self):
+        tracker = ParaTracker(trh=500)
+        assert tracker.failure_probability(500) < tracker.failure_probability(100)
+
+    def test_stateless_reset_is_noop(self):
+        tracker = ParaTracker(trh=500)
+        tracker.on_window_reset()
+        assert tracker.sram_bytes() == 0
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            ParaTracker(probability=0.0)
+        with pytest.raises(ValueError):
+            ParaTracker(probability=1.5)

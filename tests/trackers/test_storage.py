@@ -1,0 +1,107 @@
+"""Tests for the Table 1 / Table 5 storage models."""
+
+import pytest
+
+from repro.trackers.storage import (
+    RANK_GEOMETRY,
+    cat_bytes_per_rank,
+    dcbf_bytes_per_rank,
+    graphene_bytes_per_rank,
+    hydra_bytes_total,
+    ocpr_bytes_per_rank,
+    storage_table,
+    total_sram_table,
+    twice_bytes_per_rank,
+)
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+class TestTable1Calibration:
+    """Each model must land on the paper's published points."""
+
+    @pytest.mark.parametrize(
+        "trh,expected_kib,tol",
+        [(250, 679, 0.03), (500, 340, 0.03), (1000, 170, 0.03), (32000, 5, 0.15)],
+    )
+    def test_graphene(self, trh, expected_kib, tol):
+        assert graphene_bytes_per_rank(trh) == pytest.approx(
+            expected_kib * KIB, rel=tol
+        )
+
+    @pytest.mark.parametrize(
+        "trh,expected_kib", [(500, 2355), (1000, 1229), (32000, 38)]
+    )
+    def test_twice(self, trh, expected_kib):
+        assert twice_bytes_per_rank(trh) == pytest.approx(
+            expected_kib * KIB, rel=0.05
+        )
+
+    @pytest.mark.parametrize(
+        "trh,expected_kib", [(500, 1536), (1000, 768), (32000, 24)]
+    )
+    def test_cat(self, trh, expected_kib):
+        assert cat_bytes_per_rank(trh) == pytest.approx(
+            expected_kib * KIB, rel=0.05
+        )
+
+    @pytest.mark.parametrize(
+        "trh,expected_kib", [(250, 1536), (500, 768), (1000, 384), (32000, 53)]
+    )
+    def test_dcbf(self, trh, expected_kib):
+        assert dcbf_bytes_per_rank(trh) == pytest.approx(
+            expected_kib * KIB, rel=0.05
+        )
+
+    def test_every_prior_scheme_blows_the_64kb_goal_at_500(self):
+        """The paper's Table 1 'Goal' column: <= 64 KB per rank."""
+        row = [r for r in storage_table() if r.trh == 500][0]
+        for scheme, size in row.bytes_by_scheme.items():
+            assert size > 64 * KIB, scheme
+
+    def test_storage_grows_as_threshold_falls(self):
+        rows = {r.trh: r for r in storage_table()}
+        for scheme in ("Graphene", "TWiCE", "CAT", "D-CBF"):
+            assert (
+                rows[250].bytes_by_scheme[scheme]
+                > rows[1000].bytes_by_scheme[scheme]
+            )
+
+
+class TestTable5:
+    def test_hydra_is_56_5_kb_and_flat_across_ddr5(self):
+        table = total_sram_table(trh=500)
+        assert table["Hydra"]["ddr4"] == pytest.approx(56.5 * KIB, rel=0.01)
+        assert table["Hydra"]["ddr4"] == table["Hydra"]["ddr5"]
+
+    def test_graphene_totals(self):
+        """Table 5: 680 KB on DDR4, 1.4 MB on DDR5."""
+        table = total_sram_table(trh=500)
+        assert table["Graphene"]["ddr4"] == pytest.approx(680 * KIB, rel=0.01)
+        assert table["Graphene"]["ddr5"] == 2 * table["Graphene"]["ddr4"]
+
+    def test_dcbf_does_not_double_on_ddr5(self):
+        table = total_sram_table(trh=500)
+        assert table["D-CBF"]["ddr4"] == table["D-CBF"]["ddr5"]
+
+    def test_hydra_orders_of_magnitude_below_priors(self):
+        table = total_sram_table(trh=500)
+        hydra = table["Hydra"]["ddr4"]
+        for scheme in ("Graphene", "TWiCE", "CAT", "D-CBF"):
+            assert table[scheme]["ddr4"] > 10 * hydra
+
+
+class TestHydraScaling:
+    def test_structures_scale_inversely_below_500(self):
+        assert hydra_bytes_total(250) == pytest.approx(
+            2 * hydra_bytes_total(500), rel=0.05
+        )
+
+    def test_rank_geometry_is_16gb(self):
+        assert (
+            RANK_GEOMETRY.rows_per_bank
+            * RANK_GEOMETRY.banks_per_rank
+            * RANK_GEOMETRY.row_size_bytes
+            == 16 * 1024**3
+        )

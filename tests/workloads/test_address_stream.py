@@ -1,0 +1,93 @@
+"""Tests for address-level stream -> LLC -> DRAM trace conversion."""
+
+import pytest
+
+from repro.cpu.cache import LastLevelCache
+from repro.dram.timing import DramGeometry
+from repro.workloads.address_stream import (
+    gups_address_stream,
+    trace_from_addresses,
+)
+
+GEOMETRY = DramGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    banks_per_rank=2,
+    rows_per_bank=1024,
+    row_size_bytes=256,
+)
+
+
+def small_llc(lines=16) -> LastLevelCache:
+    return LastLevelCache(capacity_bytes=lines * 64, ways=16)
+
+
+class TestTraceFromAddresses:
+    def test_hits_produce_no_requests(self):
+        stream = [(0, False)] * 100  # same line over and over
+        trace = trace_from_addresses(stream, GEOMETRY, small_llc())
+        assert len(trace) == 1  # one cold miss
+
+    def test_gap_accumulates_over_hits(self):
+        stream = [(0, False)] * 10 + [(4096, False)]
+        trace = trace_from_addresses(
+            stream, GEOMETRY, small_llc(), ns_per_access=2.0
+        )
+        assert trace.gaps_ns[0] == pytest.approx(2.0)  # first miss
+        assert trace.gaps_ns[1] == pytest.approx(20.0)  # after 10 hits
+
+    def test_dirty_writeback_emitted_as_write(self):
+        llc = small_llc(lines=16)  # single set
+        stream = [(0, True)] + [(line * 64, False) for line in range(1, 17)]
+        trace = trace_from_addresses(stream, GEOMETRY, llc)
+        assert bool(trace.writes.any())
+        write_rows = trace.rows[trace.writes]
+        assert 0 in write_rows.tolist()  # row of address 0 written back
+
+    def test_row_mapping(self):
+        address = 3 * GEOMETRY.row_size_bytes + 64
+        trace = trace_from_addresses([(address, False)], GEOMETRY, small_llc())
+        assert trace.rows[0] == 3
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            trace_from_addresses([], GEOMETRY, small_llc(), ns_per_access=0.0)
+
+
+class TestGupsThroughCache:
+    def test_rmw_pattern_mostly_misses_with_small_cache(self):
+        stream = gups_address_stream(table_bytes=1 << 18, updates=2000)
+        llc = LastLevelCache(capacity_bytes=16 * 64, ways=16)
+        trace = trace_from_addresses(stream, GEOMETRY, llc)
+        # Random updates over a table >> cache: nearly one miss per
+        # update (the write to the same word hits the just-filled line).
+        assert len(trace) > 1500
+
+    def test_large_cache_absorbs_small_table(self):
+        stream = gups_address_stream(table_bytes=16 * 64, updates=2000)
+        llc = LastLevelCache(capacity_bytes=1 << 16, ways=16)
+        trace = trace_from_addresses(stream, GEOMETRY, llc)
+        assert len(trace) <= 16  # only cold misses
+
+    def test_rejects_trivial_parameters(self):
+        with pytest.raises(ValueError):
+            gups_address_stream(table_bytes=8, updates=10)
+        with pytest.raises(ValueError):
+            gups_address_stream(table_bytes=1024, updates=0)
+
+    def test_end_to_end_through_simulator(self):
+        from repro.sim.config import SystemConfig
+        from repro.sim.simulator import simulate
+
+        config = SystemConfig(scale=1 / 128, n_windows=1)
+        stream = gups_address_stream(table_bytes=1 << 18, updates=3000)
+        trace = trace_from_addresses(
+            stream,
+            config.geometry,
+            LastLevelCache(capacity_bytes=32 * 64, ways=16),
+            ns_per_access=2.0,
+            name="gups-llc",
+        )
+        result = simulate(trace, config, "hydra")
+        assert result.requests == len(trace)
+        assert result.activations > 0

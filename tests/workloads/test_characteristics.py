@@ -1,0 +1,72 @@
+"""Tests for the Table 3 workload data."""
+
+import pytest
+
+from repro.dram.timing import PAPER_TIMING
+from repro.workloads.characteristics import (
+    SUITES,
+    TABLE3,
+    WorkloadCharacteristics,
+    all_names,
+    workload,
+)
+
+
+class TestTableContents:
+    def test_thirty_six_workloads(self):
+        assert len(TABLE3) == 36
+
+    def test_suite_partition(self):
+        assert len(SUITES["SPEC(22)"]) == 22
+        assert len(SUITES["PARSEC(7)"]) == 7
+        assert len(SUITES["GAP(6)"]) == 6
+        assert SUITES["GUPS(1)"] == ["GUPS"]
+        assert len(SUITES["ALL(36)"]) == 36
+
+    def test_spot_check_parest(self):
+        """parest: the hot-row extreme (5882 rows with 250+ ACTs)."""
+        w = workload("parest")
+        assert w.mpki_llc == 27.6
+        assert w.unique_rows == 13_800
+        assert w.act250_rows == 5882
+        assert w.acts_per_row == 237.0
+
+    def test_spot_check_deepsjeng(self):
+        """deepsjeng: the footprint extreme (802K unique rows)."""
+        w = workload("deepsjeng")
+        assert w.unique_rows == 802_000
+        assert w.act250_rows == 0
+
+    def test_total_activations_helper(self):
+        w = workload("bwaves")
+        assert w.total_activations == int(77_900 * 38.6)
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            workload("quake3")
+
+    def test_all_names_order_matches_table(self):
+        assert all_names()[0] == "bwaves"
+        assert all_names()[-1] == "GUPS"
+
+
+class TestPhysicalPlausibility:
+    def test_no_workload_exceeds_per_bank_act_budget(self):
+        """Total ACTs must fit in 32 banks x ACT_max (§2.1)."""
+        budget = 32 * PAPER_TIMING.max_activations_per_window()
+        for w in TABLE3:
+            assert w.total_activations < budget, w.name
+
+    def test_hot_rows_never_exceed_unique_rows(self):
+        for w in TABLE3:
+            assert w.act250_rows <= w.unique_rows
+
+
+class TestValidation:
+    def test_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            WorkloadCharacteristics("x", "S", 1.0, 0, 0, 1.0)
+        with pytest.raises(ValueError):
+            WorkloadCharacteristics("x", "S", 1.0, 10, 20, 1.0)
+        with pytest.raises(ValueError):
+            WorkloadCharacteristics("x", "S", 1.0, 10, 0, 0.0)

@@ -1,0 +1,47 @@
+"""Tests for the GUPS kernel generator."""
+
+import numpy as np
+import pytest
+
+from repro.dram.timing import PAPER_GEOMETRY, PAPER_TIMING
+from repro.workloads.gups import generate_gups
+from repro.workloads.trace import characterize
+
+GEOMETRY = PAPER_GEOMETRY.scaled(1 / 32)
+TIMING = PAPER_TIMING.scaled(1 / 32)
+
+
+class TestGupsGenerator:
+    def test_uniform_coverage_of_working_set(self):
+        trace = generate_gups(GEOMETRY, TIMING, working_set_rows=500, updates=20_000)
+        stats = characterize(trace)
+        assert stats.unique_rows == pytest.approx(500, abs=5)
+
+    def test_no_hot_rows(self):
+        """Table 3: GUPS has zero 250+-ACT rows (uniform spreading)."""
+        trace = generate_gups(GEOMETRY, TIMING, working_set_rows=2000, updates=60_000)
+        stats = characterize(trace)
+        assert stats.act250_rows == 0
+
+    def test_deterministic(self):
+        a = generate_gups(GEOMETRY, TIMING, 100, 1000, seed=5)
+        b = generate_gups(GEOMETRY, TIMING, 100, 1000, seed=5)
+        assert np.array_equal(a.rows, b.rows)
+
+    def test_working_set_clamped_to_memory(self):
+        trace = generate_gups(
+            GEOMETRY, TIMING, working_set_rows=10**9, updates=100
+        )
+        assert len(trace) == 100
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            generate_gups(GEOMETRY, TIMING, 0, 10)
+        with pytest.raises(ValueError):
+            generate_gups(GEOMETRY, TIMING, 10, 0)
+
+    def test_update_rate_sets_gaps(self):
+        trace = generate_gups(
+            GEOMETRY, TIMING, 100, 10, update_rate_per_ns=0.1
+        )
+        assert trace.gaps_ns[0] == pytest.approx(10.0)

@@ -1,0 +1,141 @@
+"""Tests that the synthetic generator actually matches Table 3."""
+
+import numpy as np
+import pytest
+
+from repro.dram.timing import PAPER_GEOMETRY, PAPER_TIMING
+from repro.workloads.characteristics import workload
+from repro.workloads.synthetic import (
+    GeneratorConfig,
+    SyntheticWorkloadGenerator,
+    usable_rows,
+)
+from repro.workloads.trace import characterize, statistics_by_window
+
+SCALE = 1.0 / 32.0
+
+
+def make_generator(**overrides) -> SyntheticWorkloadGenerator:
+    defaults = dict(
+        geometry=PAPER_GEOMETRY.scaled(SCALE),
+        timing=PAPER_TIMING.scaled(SCALE),
+        scale=SCALE,
+        n_windows=1,
+    )
+    defaults.update(overrides)
+    return SyntheticWorkloadGenerator(GeneratorConfig(**defaults))
+
+
+def window_stats(name: str, **overrides):
+    generator = make_generator(**overrides)
+    return characterize(generator.generate(workload(name)))
+
+
+class TestTable3Fidelity:
+    @pytest.mark.parametrize("name", ["bwaves", "xz", "GUPS", "mcf"])
+    def test_unique_rows_match(self, name):
+        stats = window_stats(name)
+        expected = workload(name).unique_rows * SCALE
+        assert stats.unique_rows == pytest.approx(expected, rel=0.05)
+
+    @pytest.mark.parametrize("name", ["bwaves", "xz", "parest", "lbm"])
+    def test_acts_per_row_match(self, name):
+        stats = window_stats(name)
+        expected = workload(name).acts_per_row
+        assert stats.acts_per_row == pytest.approx(expected, rel=0.15)
+
+    @pytest.mark.parametrize("name", ["parest", "xz", "ferret"])
+    def test_hot_row_count_matches(self, name):
+        stats = window_stats(name)
+        expected = workload(name).act250_rows * SCALE
+        assert stats.act250_rows == pytest.approx(expected, rel=0.25)
+
+    @pytest.mark.parametrize("name", ["bwaves", "lbm", "GUPS", "deepsjeng"])
+    def test_no_spurious_hot_rows(self, name):
+        """Workloads Table 3 lists with zero 250+-ACT rows."""
+        stats = window_stats(name)
+        assert stats.act250_rows <= max(2, 0.002 * stats.unique_rows)
+
+    def test_rows_avoid_metadata_reservation(self):
+        generator = make_generator()
+        trace = generator.generate(workload("deepsjeng"))
+        geometry = generator.config.geometry
+        usable_per_bank = usable_rows(geometry) // geometry.total_banks
+        locals_ = trace.rows % geometry.rows_per_bank
+        assert int(locals_.max()) < usable_per_bank
+
+
+class TestDeterminismAndWindows:
+    def test_same_seed_same_trace(self):
+        a = make_generator().generate(workload("xz"))
+        b = make_generator().generate(workload("xz"))
+        assert np.array_equal(a.rows, b.rows)
+
+    def test_different_seed_differs(self):
+        a = make_generator().generate(workload("xz"))
+        b = make_generator(seed=99).generate(workload("xz"))
+        assert not np.array_equal(a.rows, b.rows)
+
+    def test_multi_window_repeats_statistics(self):
+        from repro.workloads.trace import Trace
+
+        generator = make_generator(n_windows=2)
+        trace = generator.generate(workload("xz"))
+        half = len(trace) // 2
+        halves = [
+            Trace(
+                trace.gaps_ns[s], trace.rows[s], trace.lines[s], trace.writes[s]
+            )
+            for s in (slice(0, half), slice(half, None))
+        ]
+        stats = [characterize(t) for t in halves]
+        assert stats[0].activations == pytest.approx(
+            stats[1].activations, rel=0.1
+        )
+        assert stats[0].unique_rows == pytest.approx(
+            stats[1].unique_rows, rel=0.1
+        )
+
+
+class TestShape:
+    def test_gaps_positive_and_lines_bounded(self):
+        trace = make_generator().generate(workload("bwaves"))
+        assert (trace.gaps_ns > 0).all()
+        assert int(trace.lines.max()) <= 16
+
+    def test_memory_intensity_orders_gap_sizes(self):
+        """Higher MPKI means denser arrivals."""
+        heavy = make_generator().generate(workload("bc_t"))
+        light = make_generator().generate(workload("leela"))
+        assert heavy.gaps_ns.mean() < light.gaps_ns.mean()
+
+    def test_chunking_splits_large_bursts(self):
+        """bwaves moves ~20 lines per activation: multiple chunks."""
+        trace = make_generator().generate(workload("bwaves"))
+        stats = characterize(trace)
+        assert len(trace) > stats.activations
+
+    def test_cluster_span_constrains_footprint(self):
+        generator = make_generator(cluster_span=2.0)
+        trace = generator.generate(workload("xz"))
+        spread = int(trace.rows.max()) - int(trace.rows.min())
+        total = generator.config.geometry.total_rows
+        assert spread < total / 4
+
+
+class TestConfigValidation:
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(
+                geometry=PAPER_GEOMETRY,
+                timing=PAPER_TIMING,
+                scale=0.0,
+            )
+
+    def test_rejects_bad_windows(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(
+                geometry=PAPER_GEOMETRY,
+                timing=PAPER_TIMING,
+                n_windows=0,
+            )

@@ -1,0 +1,92 @@
+"""Tests for the Trace container and Table-3 characterization."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.trace import Trace, characterize, statistics_by_window
+
+
+class TestTraceContainer:
+    def test_from_rows(self):
+        trace = Trace.from_rows([1, 2, 3], gap_ns=5.0, n_lines=2)
+        assert len(trace) == 3
+        assert trace.total_lines == 6
+        assert trace.duration_hint_ns == pytest.approx(15.0)
+
+    def test_iteration_yields_tuples(self):
+        trace = Trace.from_rows([7], gap_ns=3.0)
+        items = list(trace)
+        assert items == [(3.0, 7, 1, False)]
+
+    def test_concatenate(self):
+        a = Trace.from_rows([1, 2])
+        b = Trace.from_rows([3])
+        combined = Trace.concatenate([a, b], name="both")
+        assert len(combined) == 3
+        assert combined.rows.tolist() == [1, 2, 3]
+        assert combined.name == "both"
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trace.concatenate([])
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(
+                gaps_ns=np.zeros(2),
+                rows=np.zeros(3, dtype=np.int64),
+                lines=np.ones(3, dtype=np.int32),
+                writes=np.zeros(3, dtype=bool),
+            )
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = Trace.from_rows([5, 6, 7], gap_ns=2.5, name="t")
+        path = str(tmp_path / "trace.npz")
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.rows.tolist() == [5, 6, 7]
+        assert loaded.gaps_ns.tolist() == [2.5] * 3
+
+
+class TestCharacterize:
+    def test_empty(self):
+        stats = characterize(Trace.from_rows([]))
+        assert stats.activations == 0
+        assert stats.unique_rows == 0
+
+    def test_counts_unique_rows_and_acts(self):
+        stats = characterize(Trace.from_rows([1, 2, 1, 3, 1]))
+        assert stats.unique_rows == 3
+        assert stats.activations == 5
+        assert stats.acts_per_row == pytest.approx(5 / 3)
+
+    def test_consecutive_chunks_coalesce(self):
+        """Back-to-back same-row requests = one activation (row hit)."""
+        stats = characterize(Trace.from_rows([1, 1, 1, 2, 2, 1]))
+        assert stats.activations == 3  # 1, 2, 1
+
+    def test_hot_threshold(self):
+        rows = [9] * 300 + [1]
+        # Interleave so the 300 accesses are separate activations.
+        interleaved = []
+        for r in rows[:300]:
+            interleaved += [r, 1]
+        stats = characterize(Trace.from_rows(interleaved), hot_threshold=250)
+        assert stats.act250_rows == 2  # both 9 (300) and 1 (301)
+
+    def test_line_transfers(self):
+        stats = characterize(Trace.from_rows([1, 2], n_lines=4))
+        assert stats.line_transfers == 8
+
+
+class TestWindowSplit:
+    def test_statistics_by_window(self):
+        trace = Trace.from_rows([1, 2, 3, 4], gap_ns=10.0)
+        by_window = statistics_by_window(trace, window_ns=20.0)
+        assert len(by_window) >= 2
+        total = sum(s.activations for s in by_window.values())
+        assert total == 4
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            statistics_by_window(Trace.from_rows([1]), window_ns=0.0)
