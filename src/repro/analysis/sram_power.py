@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.config import HydraConfig
 
@@ -71,7 +72,7 @@ def sram_power(
 
 
 def hydra_sram_power(
-    config: HydraConfig = HydraConfig(),
+    config: Optional[HydraConfig] = None,
     activation_rate_per_second: float = 300e6,
     rcc_access_fraction: float = 0.093,
 ):
@@ -85,6 +86,8 @@ def hydra_sram_power(
     """
     from repro.core.storage import hydra_storage
 
+    if config is None:
+        config = HydraConfig()
     storage = hydra_storage(config)
     gct = sram_power(
         storage.gct_bytes or 1, activation_rate_per_second, ways=1

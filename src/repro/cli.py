@@ -23,6 +23,16 @@ from repro.trackers.storage import storage_table, total_sram_table
 from repro.workloads import all_names, attacks
 
 
+def _jobs_type(value: str) -> int:
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+    if count < 0:
+        raise argparse.ArgumentTypeError("must be >= 0 (0 = one per CPU)")
+    return count
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale-denominator",
@@ -31,14 +41,26 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="simulate 1/N of the full system (default 32; 1 = full)",
     )
     parser.add_argument("--trh", type=int, default=500, help="RowHammer threshold")
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_type,
+        default=None,
+        metavar="N",
+        help="simulate up to N grid cells in parallel (0 = one per CPU; "
+        "default: $REPRO_JOBS, else serial)",
+    )
 
 
 def _config(args: argparse.Namespace) -> SystemConfig:
     return SystemConfig(scale=1.0 / args.scale_denominator, trh=args.trh)
 
 
+def _runner(args: argparse.Namespace) -> ExperimentRunner:
+    return ExperimentRunner(_config(args), jobs=args.jobs)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(_config(args))
+    runner = _runner(args)
     result = runner.run(args.tracker, args.workload)
     base = runner.run("baseline", args.workload)
     slowdown = 100.0 * (result.end_time_ns / base.end_time_ns - 1.0)
@@ -58,7 +80,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(_config(args))
+    runner = _runner(args)
     comparisons = runner.compare(args.tracker)
     print(f"{'workload':<12} {'norm. perf':>10}")
     for comp in comparisons:
@@ -127,13 +149,19 @@ def _cmd_security(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import json
+    import os
 
+    from repro.sim.config import JOBS_ENV_VAR
     from repro.sim.experiments import available_experiments, run_experiment
 
     if args.name == "list":
         for name in available_experiments():
             print(name)
         return 0
+    if args.jobs is not None:
+        # Experiments build their own runners; the env default is the
+        # channel that reaches all of them.
+        os.environ[JOBS_ENV_VAR] = str(args.jobs)
     payload = run_experiment(args.name, _config(args))
     print(json.dumps(payload, indent=2, sort_keys=True))
     return 0

@@ -65,7 +65,11 @@ class HydraTracker(ActivationTracker):
 
     name = "hydra"
 
-    def __init__(self, config: HydraConfig = HydraConfig()) -> None:
+    def __init__(self, config: Optional[HydraConfig] = None) -> None:
+        # A dataclass default argument would be one instance shared by
+        # every default-constructed tracker; build a fresh one instead.
+        if config is None:
+            config = HydraConfig()
         self.config = config
         self.th = config.th
         self.tg = config.tg

@@ -8,7 +8,7 @@ the 32 GB baseline system: 32 KB GCT + 24 KB RCC + 0.5 KB RIT-ACT.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.config import HydraConfig
 
@@ -40,7 +40,7 @@ class HydraStorageReport:
         }
 
 
-def hydra_storage(config: HydraConfig = HydraConfig()) -> HydraStorageReport:
+def hydra_storage(config: Optional[HydraConfig] = None) -> HydraStorageReport:
     """Storage of a Hydra instance, following Table 4's arithmetic.
 
     - GCT: one counter per entry, sized to hold T_G (1 byte at the
@@ -49,6 +49,8 @@ def hydra_storage(config: HydraConfig = HydraConfig()) -> HydraStorageReport:
       set-associative index truncation) + 2-bit SRRIP + 8-bit counter.
     - RIT-ACT: one 1-byte counter per DRAM row that stores the RCT.
     """
+    if config is None:
+        config = HydraConfig()
     gct_entry_bytes = max(1, (config.tg.bit_length() + 7) // 8)
     gct_bytes = config.gct_entries * gct_entry_bytes if config.enable_gct else 0
     rcc_bytes = config.rcc_entries * 3 if config.enable_rcc else 0

@@ -1,10 +1,20 @@
 """Simulation harness: configs, runner, sweeps, result records."""
 
-from repro.sim.config import SystemConfig, baseline_table2, default_scale
+from repro.sim.cache import ResultCache
+from repro.sim.config import (
+    SystemConfig,
+    baseline_table2,
+    default_cache_dir,
+    default_jobs,
+    default_scale,
+    resolve_jobs,
+)
 from repro.sim.results import Comparison, RunResult, geometric_mean
-from repro.sim.simulator import make_tracker, simulate
+from repro.sim.simulator import make_tracker, simulate, simulate_workload
 from repro.sim.sweep import (
     ExperimentRunner,
+    SweepProgress,
+    cell_key,
     suite_geomeans,
     suite_slowdowns,
 )
@@ -12,13 +22,20 @@ from repro.sim.sweep import (
 __all__ = [
     "Comparison",
     "ExperimentRunner",
+    "ResultCache",
     "RunResult",
+    "SweepProgress",
     "SystemConfig",
     "baseline_table2",
+    "cell_key",
+    "default_cache_dir",
+    "default_jobs",
     "default_scale",
     "geometric_mean",
     "make_tracker",
+    "resolve_jobs",
     "simulate",
+    "simulate_workload",
     "suite_geomeans",
     "suite_slowdowns",
 ]

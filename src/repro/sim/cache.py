@@ -1,0 +1,91 @@
+"""Crash-safe, multi-process-safe disk cache for simulation results.
+
+One JSON file per (config, tracker, workload) key. Safety properties:
+
+- **Atomic writes**: results are serialized to a temporary file in the
+  cache directory and moved into place with :func:`os.replace`, so a
+  crash mid-write can never leave a truncated entry, and a reader can
+  never observe a half-written file.
+- **Corrupt-entry eviction**: a file that fails to parse (e.g. left by
+  a pre-atomic-write version of this cache, or by disk trouble) is
+  unlinked on load so it is re-simulated once rather than failing
+  every run.
+- **Idempotent fills**: two processes racing to fill the same key both
+  succeed — each writes its own temp file and the ``os.replace`` calls
+  serialize arbitrarily. Simulation is deterministic, so whichever
+  write lands last is byte-identical to the other.
+
+This makes a single ``REPRO_CACHE_DIR`` safe to share between the
+worker processes of one parallel sweep and between independent
+benchmark invocations running concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` payloads with atomic replacement."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        #: Corrupt entries evicted by this process (observability).
+        self.evictions = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the stored payload, or None on miss or corruption.
+
+        A corrupt file is unlinked so the next fill replaces it.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            self._evict(path)
+            return None
+        if not isinstance(payload, dict):
+            self._evict(path)
+            return None
+        return payload
+
+    def store(self, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically publish a payload under ``key``.
+
+        The temp file lives in the cache directory itself so the
+        ``os.replace`` is a same-filesystem rename (atomic on POSIX
+        and Windows).
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key}.", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass  # a racing process may have replaced or removed it
+        self.evictions += 1

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Dict, Optional
 
 from repro.core.config import HydraConfig
@@ -27,6 +28,21 @@ from repro.workloads.synthetic import GeneratorConfig
 SCALE_ENV_VAR = "REPRO_SCALE"
 DEFAULT_SCALE_DENOMINATOR = 32
 
+#: Environment variable setting the default sweep parallelism
+#: (REPRO_JOBS=0 means one worker per CPU; unset means serial).
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Environment variable relocating the simulation result cache.
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> "Path":
+    """Result cache location: REPRO_CACHE_DIR, else ./.repro_cache."""
+    env = os.environ.get(CACHE_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.cwd() / ".repro_cache"
+
 
 def default_scale() -> float:
     """Experiment scale: 1/32 by default, overridable via REPRO_SCALE."""
@@ -34,6 +50,34 @@ def default_scale() -> float:
     if denominator < 1:
         raise ValueError(f"{SCALE_ENV_VAR} must be >= 1")
     return 1.0 / denominator
+
+
+def default_jobs() -> int:
+    """Sweep worker count: REPRO_JOBS, or 1 (serial) when unset.
+
+    ``REPRO_JOBS=0`` asks for one worker per available CPU.
+    """
+    env = os.environ.get(JOBS_ENV_VAR)
+    if env is None or env == "":
+        return 1
+    return resolve_jobs(env)
+
+
+def resolve_jobs(jobs) -> int:
+    """Normalize a jobs request (None / int / numeric string) to >= 1.
+
+    ``None`` means "use the environment default" (``REPRO_JOBS``, else
+    serial); ``0`` means "all CPUs". Anything else must be a positive
+    integer.
+    """
+    if jobs is None:
+        return default_jobs()
+    count = int(jobs)
+    if count == 0:
+        return os.cpu_count() or 1
+    if count < 0:
+        raise ValueError(f"jobs must be >= 0, got {count}")
+    return count
 
 
 @dataclass(frozen=True)

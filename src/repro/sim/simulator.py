@@ -9,11 +9,17 @@ the benchmark harness can express configurations as plain strings:
 ``baseline``, ``hydra``, ``hydra-nogct``, ``hydra-norcc``,
 ``graphene``, ``cra`` (uses the config's cache size), ``ocpr``,
 ``para``, ``dcbf``.
+
+``simulate_workload`` is the self-contained (and picklable-argument)
+entry point used by parallel sweeps: given only a
+:class:`~repro.sim.config.SystemConfig` and two names, it regenerates
+the trace locally (memoized per process, so a pool worker pays for
+each workload's trace once) and runs the simulation.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.hydra import HydraTracker
 from repro.cpu.core import LimitedMlpCore
@@ -31,9 +37,37 @@ from repro.trackers.mithril import MithrilTracker
 from repro.trackers.ocpr import OcprTracker
 from repro.trackers.para import ParaTracker
 from repro.trackers.twice import TwiceTracker
+from repro.workloads.characteristics import workload
+from repro.workloads.synthetic import SyntheticWorkloadGenerator
 from repro.workloads.trace import Trace
 
 TrackerFactory = Callable[[SystemConfig], ActivationTracker]
+
+#: Per-process trace memo keyed by (config identity, workload name).
+#: Traces are deterministic functions of both, so sharing across
+#: simulations — including across the tasks a pool worker executes —
+#: is safe and saves regenerating a trace for every tracker column.
+_TRACE_MEMO: Dict[Tuple[str, str], Trace] = {}
+
+
+def trace_for_workload(config: SystemConfig, workload_name: str) -> Trace:
+    """Generate (or recall) the trace of one workload on one system."""
+    memo_key = (config.cache_key(), workload_name)
+    trace = _TRACE_MEMO.get(memo_key)
+    if trace is None:
+        generator = SyntheticWorkloadGenerator(config.generator_config())
+        trace = generator.generate(workload(workload_name))
+        _TRACE_MEMO[memo_key] = trace
+    return trace
+
+
+def simulate_workload(
+    config: SystemConfig, tracker_name: str, workload_name: str
+) -> "RunResult":
+    """One grid cell from names alone (the parallel-sweep work unit)."""
+    return simulate(
+        trace_for_workload(config, workload_name), config, tracker_name
+    )
 
 
 def make_tracker(name: str, config: SystemConfig) -> ActivationTracker:

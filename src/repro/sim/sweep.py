@@ -7,6 +7,16 @@ means. :class:`ExperimentRunner` executes those grids, caching each
 targets that share runs (e.g. Figure 5's Hydra column and Figure 6's
 distribution) pay for each simulation once.
 
+Grid cells are independent deterministic simulations, so
+``run_grid``/``compare`` can fan them out across a process pool: pass
+``jobs=N`` (or ``jobs=0`` for one worker per CPU), or set the
+``REPRO_JOBS`` environment variable to change the default for every
+sweep. Parallel results are identical to serial ones — each worker
+rebuilds the same seeded trace and tracker from the picklable
+(config, tracker name, workload name) spec — and the disk cache uses
+atomic writes (see :mod:`repro.sim.cache`) so concurrent workers and
+even concurrent benchmark processes can share one cache directory.
+
 Set ``REPRO_CACHE_DIR`` to relocate the cache; delete it to force
 re-simulation.
 """
@@ -14,29 +24,132 @@ re-simulation.
 from __future__ import annotations
 
 import hashlib
-import json
-import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.sim.config import SystemConfig
+from repro.sim.cache import ResultCache
+from repro.sim.config import (
+    CACHE_ENV_VAR,  # noqa: F401  (re-exported; historically lived here)
+    SystemConfig,
+    default_cache_dir,
+    resolve_jobs,
+)
 from repro.sim.results import Comparison, RunResult, geometric_mean
-from repro.sim.simulator import simulate
-from repro.workloads.characteristics import SUITES, all_names, workload
-from repro.workloads.synthetic import SyntheticWorkloadGenerator
+from repro.sim.simulator import simulate_workload, trace_for_workload
+from repro.workloads.characteristics import SUITES, all_names
 from repro.workloads.trace import Trace
 
 #: Bump to invalidate cached results when the model changes materially.
 MODEL_VERSION = "v1"
 
-CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+def cell_key(
+    config: SystemConfig, tracker_name: str, workload_name: str
+) -> str:
+    """Stable cache key of one grid cell (shared with pool workers)."""
+    raw = f"{MODEL_VERSION}|{config.cache_key()}|{tracker_name}|{workload_name}"
+    return hashlib.sha256(raw.encode()).hexdigest()[:24]
 
 
-def default_cache_dir() -> Path:
-    env = os.environ.get(CACHE_ENV_VAR)
-    if env:
-        return Path(env)
-    return Path.cwd() / ".repro_cache"
+def _run_cell(
+    config: SystemConfig,
+    tracker_name: str,
+    workload_name: str,
+    cache_dir: Optional[str],
+) -> Tuple[Dict[str, Any], bool]:
+    """Pool-worker work unit: one cell, through the shared disk cache.
+
+    Returns ``(payload, from_cache)`` where ``payload`` is the
+    :class:`RunResult` as a plain dict (cheap to pickle back). The
+    worker fills the disk cache itself so a crash of the parent loses
+    no completed work, and racing fills of one key are harmless: the
+    simulation is deterministic and the cache write is atomic.
+    """
+    cache = ResultCache(Path(cache_dir)) if cache_dir else None
+    key = cell_key(config, tracker_name, workload_name)
+    if cache is not None:
+        payload = _validated_payload(cache, key)
+        if payload is not None:
+            return payload, True
+    result = simulate_workload(config, tracker_name, workload_name)
+    payload = result.to_dict()
+    if cache is not None:
+        cache.store(key, payload)
+    return payload, False
+
+
+def _validated_payload(
+    cache: ResultCache, key: str
+) -> Optional[Dict[str, Any]]:
+    """Load a payload that round-trips into a RunResult, else evict."""
+    payload = cache.load(key)
+    if payload is None:
+        return None
+    try:
+        RunResult.from_dict(payload)
+    except (TypeError, KeyError):
+        cache._evict(cache.path_for(key))
+        return None
+    return payload
+
+
+class SweepProgress:
+    """Per-grid progress/throughput report (cells, hits, sims/sec).
+
+    Writes carriage-return-updated status lines to ``stream`` while a
+    sweep runs and one final summary line when it finishes. Enabled
+    explicitly, or automatically for multi-cell grids on a terminal.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        enabled: Optional[bool] = None,
+        stream=None,
+        label: str = "sweep",
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        if enabled is None:
+            enabled = total > 1 and getattr(
+                self.stream, "isatty", lambda: False
+            )()
+        self.enabled = enabled
+        self.total = total
+        self.label = label
+        self.done = 0
+        self.cache_hits = 0
+        self._start = time.monotonic()
+
+    @property
+    def simulations(self) -> int:
+        return self.done - self.cache_hits
+
+    def sims_per_second(self) -> float:
+        elapsed = max(time.monotonic() - self._start, 1e-9)
+        return self.simulations / elapsed
+
+    def record(self, from_cache: bool) -> None:
+        self.done += 1
+        if from_cache:
+            self.cache_hits += 1
+        if self.enabled:
+            self.stream.write("\r" + self._status() + " ")
+            self.stream.flush()
+
+    def finish(self) -> None:
+        if self.enabled and self.done:
+            self.stream.write("\r" + self._status() + "\n")
+            self.stream.flush()
+
+    def _status(self) -> str:
+        return (
+            f"[{self.label}] {self.done}/{self.total} cells"
+            f" | {self.cache_hits} cache hits"
+            f" | {self.sims_per_second():.2f} sims/s"
+        )
 
 
 class ExperimentRunner:
@@ -47,22 +160,21 @@ class ExperimentRunner:
         config: SystemConfig,
         cache_dir: Optional[Path] = None,
         use_disk_cache: bool = True,
+        jobs: Optional[int] = None,
     ) -> None:
         self.config = config
         self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
         self.use_disk_cache = use_disk_cache
-        self._traces: Dict[str, Trace] = {}
+        #: Default parallelism for grids run through this runner
+        #: (``None`` defers to ``REPRO_JOBS``, then serial).
+        self.jobs = jobs
+        self.cache = ResultCache(self.cache_dir)
         self._results: Dict[str, RunResult] = {}
-        self._generator = SyntheticWorkloadGenerator(config.generator_config())
 
     # ------------------------------------------------------------------
 
     def trace_for(self, workload_name: str) -> Trace:
-        cached = self._traces.get(workload_name)
-        if cached is None:
-            cached = self._generator.generate(workload(workload_name))
-            self._traces[workload_name] = cached
-        return cached
+        return trace_for_workload(self.config, workload_name)
 
     def run(self, tracker_name: str, workload_name: str) -> RunResult:
         """One simulation, via the in-memory and on-disk caches."""
@@ -72,8 +184,8 @@ class ExperimentRunner:
             return result
         result = self._load(key)
         if result is None:
-            result = simulate(
-                self.trace_for(workload_name), self.config, tracker_name
+            result = simulate_workload(
+                self.config, tracker_name, workload_name
             )
             self._store(key, result)
         self._results[key] = result
@@ -83,61 +195,123 @@ class ExperimentRunner:
         self,
         tracker_names: Sequence[str],
         workload_names: Optional[Sequence[str]] = None,
+        jobs: Optional[int] = None,
+        progress: Optional[bool] = None,
     ) -> Dict[str, Dict[str, RunResult]]:
-        """tracker -> workload -> RunResult for the whole grid."""
+        """tracker -> workload -> RunResult for the whole grid.
+
+        ``jobs`` > 1 fans uncached cells out over a process pool
+        (``jobs=0`` = one worker per CPU; ``None`` defers to the
+        runner's default, then ``REPRO_JOBS``, then serial). Results
+        are identical to a serial run. ``progress`` forces the
+        cells/hits/throughput report on or off (default: on when
+        stderr is a terminal).
+        """
         names = list(workload_names) if workload_names else all_names()
-        return {
-            tracker: {wl: self.run(tracker, wl) for wl in names}
-            for tracker in tracker_names
-        }
+        trackers = list(tracker_names)
+        n_jobs = resolve_jobs(jobs if jobs is not None else self.jobs)
+        grid: Dict[str, Dict[str, RunResult]] = {t: {} for t in trackers}
+        cells = [(t, w) for t in trackers for w in names]
+        report = SweepProgress(total=len(cells), enabled=progress)
+
+        pending: List[Tuple[str, str]] = []
+        for tracker, wl in cells:
+            key = self._key(tracker, wl)
+            result = self._results.get(key)
+            if result is None:
+                result = self._load(key)
+                if result is not None:
+                    self._results[key] = result
+            if result is not None:
+                grid[tracker][wl] = result
+                report.record(from_cache=True)
+            else:
+                pending.append((tracker, wl))
+
+        if n_jobs > 1 and len(pending) > 1:
+            self._run_cells_parallel(pending, grid, n_jobs, report)
+        else:
+            for tracker, wl in pending:
+                grid[tracker][wl] = self.run(tracker, wl)
+                report.record(from_cache=False)
+        report.finish()
+        return grid
+
+    def _run_cells_parallel(
+        self,
+        pending: Sequence[Tuple[str, str]],
+        grid: Dict[str, Dict[str, RunResult]],
+        n_jobs: int,
+        report: SweepProgress,
+    ) -> None:
+        """Fan cells out over a process pool and collect as completed."""
+        cache_dir = str(self.cache_dir) if self.use_disk_cache else None
+        workers = min(n_jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_run_cell, self.config, tracker, wl, cache_dir): (
+                    tracker,
+                    wl,
+                )
+                for tracker, wl in pending
+            }
+            for future in as_completed(futures):
+                tracker, wl = futures[future]
+                payload, from_cache = future.result()
+                result = RunResult.from_dict(payload)
+                self._results[self._key(tracker, wl)] = result
+                grid[tracker][wl] = result
+                report.record(from_cache=from_cache)
 
     def compare(
         self,
         tracker_name: str,
         workload_names: Optional[Sequence[str]] = None,
         baseline_name: str = "baseline",
+        jobs: Optional[int] = None,
+        progress: Optional[bool] = None,
     ) -> List[Comparison]:
-        """Tracked runs vs the no-tracking baseline, per workload."""
+        """Tracked runs vs the no-tracking baseline, per workload.
+
+        Both columns of the comparison go through :meth:`run_grid`, so
+        ``jobs``/``REPRO_JOBS`` parallelism applies here too.
+        """
         names = list(workload_names) if workload_names else all_names()
-        comparisons = []
-        for wl in names:
-            base = self.run(baseline_name, wl)
-            tracked = self.run(tracker_name, wl)
-            comparisons.append(
-                Comparison(
-                    workload=wl,
-                    tracker=tracker_name,
-                    baseline_ns=base.end_time_ns,
-                    tracked_ns=tracked.end_time_ns,
-                )
+        grid = self.run_grid(
+            [baseline_name, tracker_name],
+            names,
+            jobs=jobs,
+            progress=progress,
+        )
+        return [
+            Comparison(
+                workload=wl,
+                tracker=tracker_name,
+                baseline_ns=grid[baseline_name][wl].end_time_ns,
+                tracked_ns=grid[tracker_name][wl].end_time_ns,
             )
-        return comparisons
+            for wl in names
+        ]
 
     # ------------------------------------------------------------------
     # Cache plumbing
     # ------------------------------------------------------------------
 
     def _key(self, tracker_name: str, workload_name: str) -> str:
-        raw = f"{MODEL_VERSION}|{self.config.cache_key()}|{tracker_name}|{workload_name}"
-        return hashlib.sha256(raw.encode()).hexdigest()[:24]
+        return cell_key(self.config, tracker_name, workload_name)
 
     def _load(self, key: str) -> Optional[RunResult]:
         if not self.use_disk_cache:
             return None
-        path = self.cache_dir / f"{key}.json"
-        if not path.exists():
+        payload = _validated_payload(self.cache, key)
+        if payload is None:
             return None
-        try:
-            return RunResult.from_dict(json.loads(path.read_text()))
-        except (json.JSONDecodeError, TypeError, KeyError):
-            return None
+        return RunResult.from_dict(payload)
 
     def _store(self, key: str, result: RunResult) -> None:
         if not self.use_disk_cache:
             return
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        path = self.cache_dir / f"{key}.json"
-        path.write_text(json.dumps(result.to_dict()))
+        self.cache.store(key, result.to_dict())
 
 
 def suite_geomeans(comparisons: Iterable[Comparison]) -> Dict[str, float]:

@@ -117,3 +117,27 @@ class TestLemma1Property:
                 for other, count in true_counts.items():
                     if gct.group_of(other) == group:
                         assert gct.value(other) >= count
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=255), min_size=1, max_size=600
+        ),
+        st.integers(min_value=2, max_value=60),
+    )
+    @settings(max_examples=60)
+    def test_unsaturated_group_implies_no_row_reached_threshold(
+        self, activations, threshold
+    ):
+        """Lemma-1's safety contrapositive, across every group at
+        once: any row with true count >= T_G must live in a group the
+        GCT reports saturated — no hot row hides below saturation."""
+        gct = GroupCountTable(entries=16, threshold=threshold, group_size=16)
+        true_counts = {}
+        for row in activations:
+            gct.update(row)
+            true_counts[row] = true_counts.get(row, 0) + 1
+        for row, count in true_counts.items():
+            if count >= threshold:
+                assert gct.is_saturated(row)
+            if not gct.is_saturated(row):
+                assert gct.value(row) >= count

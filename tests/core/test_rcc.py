@@ -86,6 +86,45 @@ class TestSrrip:
         victim_row, _ = rcc.install(99, 0)
         assert victim_row == 3
 
+    def test_aging_terminates_when_no_entry_is_distant(self):
+        """Regression: victim selection must age the set until an
+        RRPV-max entry appears, even when every entry was just
+        promoted to RRPV 0 (near-immediate re-reference)."""
+        rcc = RowCountCache(entries=4, ways=4)
+        for row in range(4):
+            rcc.install(row, row)
+            rcc.lookup(row)  # all four at RRPV 0
+        victim = rcc.install(99, 0)
+        assert victim is not None  # selection terminated
+        assert rcc.occupancy() == 4
+
+    def test_insertion_rrpv_ages_out_before_promoted_entries(self):
+        """Regression: a fresh insertion (RRPV 2) reaches RRPV-max
+        before promoted entries (RRPV 0), so one aging round evicts
+        the never-reused newcomer, not the hot rows."""
+        rcc = RowCountCache(entries=4, ways=4)
+        for row in range(3):
+            rcc.install(row, row)
+            rcc.lookup(row)  # rows 0-2 hot (RRPV 0)
+        rcc.install(3, 30)  # newcomer at insertion RRPV 2
+        victim_row, victim_count = rcc.install(99, 0)
+        assert victim_row == 3
+        assert victim_count == 30
+        for row in range(3):
+            assert rcc.contains(row)
+
+    def test_reinstall_refreshes_srrip_state(self):
+        """Regression: re-installing a resident row resets its RRPV to
+        the insertion value, making it the eviction candidate again
+        relative to promoted peers."""
+        rcc = RowCountCache(entries=4, ways=4)
+        for row in range(4):
+            rcc.install(row, row)
+            rcc.lookup(row)  # everyone hot
+        rcc.install(2, 20)  # demote row 2 back to insertion RRPV
+        victim_row, _ = rcc.install(99, 0)
+        assert victim_row == 2
+
 
 class TestReset:
     def test_reset_drops_everything(self):

@@ -1,0 +1,77 @@
+"""Tests for the crash-safe result cache (atomic writes, eviction)."""
+
+import json
+
+import pytest
+
+from repro.sim.cache import ResultCache
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("abc", {"x": 1, "y": [2, 3]})
+        assert cache.load("abc") == {"x": 1, "y": [2, 3]}
+
+    def test_missing_key_is_none(self, tmp_path):
+        assert ResultCache(tmp_path).load("nothing") is None
+
+    def test_missing_directory_is_a_miss_not_an_error(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.load("abc") is None
+
+    def test_store_creates_directory(self, tmp_path):
+        cache = ResultCache(tmp_path / "deep" / "cache")
+        cache.store("abc", {"x": 1})
+        assert cache.load("abc") == {"x": 1}
+
+
+class TestAtomicity:
+    def test_store_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(5):
+            cache.store(f"key{i}", {"i": i})
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix != ".json"]
+        assert leftovers == []
+
+    def test_overwrite_is_replace_not_append(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("abc", {"long": "x" * 4096})
+        cache.store("abc", {"short": 1})
+        # The file must be exactly the new payload, not a mix.
+        assert json.loads(cache.path_for("abc").read_text()) == {"short": 1}
+
+    def test_failed_serialization_leaves_cache_untouched(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("abc", {"good": 1})
+        with pytest.raises(TypeError):
+            cache.store("abc", {"bad": object()})
+        assert cache.load("abc") == {"good": 1}
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix != ".json"]
+        assert leftovers == []
+
+
+class TestCorruptEviction:
+    def test_truncated_json_is_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("abc", {"x": 1})
+        full = cache.path_for("abc").read_text()
+        cache.path_for("abc").write_text(full[: len(full) // 2])
+        assert cache.load("abc") is None
+        assert not cache.path_for("abc").exists()
+        assert cache.evictions == 1
+
+    def test_non_object_payload_is_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path_for("abc").parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for("abc").write_text("[1, 2, 3]")
+        assert cache.load("abc") is None
+        assert not cache.path_for("abc").exists()
+
+    def test_evicted_key_refills(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path_for("abc").parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for("abc").write_text("{broken")
+        assert cache.load("abc") is None
+        cache.store("abc", {"x": 2})
+        assert cache.load("abc") == {"x": 2}

@@ -19,6 +19,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "quake3"])
 
+    def test_jobs_flag_parses(self):
+        args = build_parser().parse_args(["sweep", "--jobs", "4"])
+        assert args.jobs == 4
+
+    def test_negative_jobs_rejected_cleanly(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--jobs", "-1"])
+
+    def test_jobs_defaults_to_env_resolution(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs is None  # defer to REPRO_JOBS, then serial
+
 
 class TestStorageCommand:
     def test_prints_tables(self, capsys):
