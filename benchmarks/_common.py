@@ -19,9 +19,8 @@ Environment knobs:
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 from repro.sim.config import SystemConfig, default_scale
 from repro.sim.results import Comparison, geometric_mean

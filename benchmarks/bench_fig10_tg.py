@@ -15,13 +15,13 @@ TG_FRACTIONS = (0.50, 0.65, 0.80, 0.95)
 
 def test_fig10_tg_threshold(benchmark):
     def run_sweep():
-        results = {}
-        for fraction in TG_FRACTIONS:
-            config = bench_config().with_tg_fraction(fraction)
-            results[fraction] = suite_slowdowns(
-                runner_for(config).compare("hydra")
+        runner = runner_for(bench_config())
+        return {
+            fraction: suite_slowdowns(
+                runner.compare(f"hydra@tg_fraction={fraction}")
             )
-        return results
+            for fraction in TG_FRACTIONS
+        }
 
     results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
 

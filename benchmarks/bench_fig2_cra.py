@@ -20,11 +20,11 @@ CACHE_SIZES_KB = (64, 128, 256)
 
 def test_fig2_cra_metadata_cache_sweep(benchmark):
     def run_sweep():
-        results = {}
-        for size_kb in CACHE_SIZES_KB:
-            config = bench_config(cra_cache_full_bytes=size_kb * 1024)
-            results[size_kb] = runner_for(config).compare("cra")
-        return results
+        runner = runner_for(bench_config())
+        return {
+            size_kb: runner.compare(f"cra@cache_kb={size_kb}")
+            for size_kb in CACHE_SIZES_KB
+        }
 
     results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
 

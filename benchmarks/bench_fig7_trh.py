@@ -14,11 +14,11 @@ THRESHOLDS = (500, 250, 125)
 
 def test_fig7_trh_sensitivity(benchmark):
     def run_sweep():
-        results = {}
-        for trh in THRESHOLDS:
-            config = bench_config().with_trh(trh)
-            results[trh] = suite_slowdowns(runner_for(config).compare("hydra"))
-        return results
+        runner = runner_for(bench_config())
+        return {
+            trh: suite_slowdowns(runner.compare(f"hydra@trh={trh}"))
+            for trh in THRESHOLDS
+        }
 
     results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
 

@@ -14,13 +14,13 @@ GCT_SIZES = (16384, 32768, 65536)
 
 def test_fig9_gct_capacity(benchmark):
     def run_sweep():
-        results = {}
-        for entries in GCT_SIZES:
-            config = bench_config().with_gct_entries(entries)
-            results[entries] = suite_slowdowns(
-                runner_for(config).compare("hydra")
+        runner = runner_for(bench_config())
+        return {
+            entries: suite_slowdowns(
+                runner.compare(f"hydra@gct_entries={entries}")
             )
-        return results
+            for entries in GCT_SIZES
+        }
 
     results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
 

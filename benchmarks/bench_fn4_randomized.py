@@ -9,8 +9,6 @@ reproduces that comparison on a representative workload slice.
 
 from _common import bench_config, record_result, runner_for
 
-from repro.sim.sweep import suite_geomeans
-
 WORKLOADS = [
     "bwaves", "parest", "xz", "cactuBSSN", "deepsjeng",
     "ferret", "freq", "bc_t", "GUPS",

@@ -11,7 +11,7 @@ which is what justifies using the fast models for the big sweeps.
 Run:  python examples/controller_fidelity.py
 """
 
-from repro.core import HydraConfig, HydraTracker
+from repro.core import HydraTracker
 from repro.cpu import LimitedMlpCore, OooCore
 from repro.memctrl import MemoryController, QueuedMemoryController
 from repro.sim import SystemConfig

@@ -7,7 +7,7 @@ terminal session can eyeball shapes without plotting dependencies.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Mapping, Optional
 
 _BLOCK = "#"
 

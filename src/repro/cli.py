@@ -2,12 +2,18 @@
 
 Subcommands:
 
-- ``run``      — simulate one workload under one tracker and print a
-  result summary (optionally against the baseline).
-- ``sweep``    — run a tracker across all 36 workloads and print
+- ``run``           — simulate one workload under one tracker and
+  print a result summary (optionally against the baseline).
+- ``sweep``         — run a tracker across all 36 workloads and print
   per-workload normalized performance plus suite geomeans.
-- ``storage``  — print the Table 1 / Table 4 / Table 5 storage report.
-- ``security`` — run the attack-pattern security verification.
+- ``list-trackers`` — print the tracker registry: every registered
+  tracker with its tunable parameters.
+- ``storage``       — print the Table 1/4/5 storage report.
+- ``security``      — run the attack-pattern security verification.
+
+Everywhere a tracker is named (``--tracker``), a parameterized spec
+string is accepted too: ``hydra@trh=1000,rcc_kb=28``,
+``cra@cache_kb=128``, ``para@probability=0.01``, ...
 """
 
 from __future__ import annotations
@@ -96,6 +102,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     }
     print("\nslowdown by suite:")
     print(bar_chart(slowdowns, width=40, unit="%"))
+    return 0
+
+
+def _cmd_list_trackers(args: argparse.Namespace) -> int:
+    from repro.trackers.registry import UNIVERSAL_PARAMS, available_trackers, tracker_info
+
+    print("tracker spec grammar: name | name@key=value[,key=value...]")
+    universals = ", ".join(
+        f"{key} ({param.type.__name__})"
+        for key, param in sorted(UNIVERSAL_PARAMS.items())
+    )
+    print(f"universal parameters: {universals}")
+    print()
+    for name in available_trackers():
+        info = tracker_info(name)
+        print(f"{name:<18} {info.summary}")
+        for key, param in sorted(info.params.items()):
+            default = "from config" if param.default is None else param.default
+            detail = f" — {param.help}" if param.help else ""
+            print(
+                f"    {key:<20} {param.type.__name__:<6} "
+                f"default={default}{detail}"
+            )
     return 0
 
 
@@ -199,6 +228,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(sweep)
     sweep.add_argument("--tracker", default="hydra")
     sweep.set_defaults(func=_cmd_sweep)
+
+    catalogue = sub.add_parser(
+        "list-trackers",
+        help="print the tracker registry and each tracker's parameters",
+    )
+    catalogue.set_defaults(func=_cmd_list_trackers)
 
     storage = sub.add_parser("storage", help="print storage tables")
     _add_common(storage)

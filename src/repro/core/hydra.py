@@ -19,7 +19,7 @@ counter rows unseen.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 from repro.core.config import HydraConfig
@@ -28,6 +28,12 @@ from repro.core.randomize import FeistelPermutation
 from repro.core.rcc import RowCountCache
 from repro.core.rct import RowCountTable
 from repro.trackers.base import ActivationTracker, MetaAccess, TrackerResponse
+from repro.trackers.registry import (
+    RCC_ENTRY_BYTES,
+    Param,
+    TrackerContext,
+    register_tracker,
+)
 
 
 @dataclass
@@ -167,6 +173,14 @@ class HydraTracker(ActivationTracker):
     def mitigations(self) -> int:
         return self.stats.mitigations
 
+    def extra_stats(self) -> Dict[str, object]:
+        """Figure 6's distribution plus metadata-path counters."""
+        return {
+            "distribution": self.stats.distribution(),
+            "group_inits": self.stats.group_inits,
+            "rit_act_activations": self.stats.rit_act_activations,
+        }
+
     # ------------------------------------------------------------------
     # Internal paths
     # ------------------------------------------------------------------
@@ -249,3 +263,97 @@ class HydraTracker(ActivationTracker):
                 self.stats.meta_write_lines += access.n_lines
             else:
                 self.stats.meta_read_lines += access.n_lines
+
+
+# ----------------------------------------------------------------------
+# Registry entries
+# ----------------------------------------------------------------------
+
+_HYDRA_PARAMS = {
+    "gct_entries": Param(
+        int, help="full-scale GCT entries (default 32768 x structure scale)"
+    ),
+    "rcc_entries": Param(
+        int, help="full-scale RCC entries (default 8192 x structure scale)"
+    ),
+    "rcc_kb": Param(
+        int,
+        help="full-scale RCC size in KB (3 B/entry, Table 4; alternative"
+        " to rcc_entries)",
+    ),
+    "rcc_ways": Param(int, 16, "RCC associativity"),
+    "tg_fraction": Param(float, 0.80, "T_G as a fraction of T_H"),
+    "enable_gct": Param(bool, True, "disable for the Hydra-NoGCT ablation"),
+    "enable_rcc": Param(bool, True, "disable for the Hydra-NoRCC ablation"),
+    "randomize_mapping": Param(
+        bool, False, "footnote-4 keyed row-address randomization"
+    ),
+}
+
+
+def _hydra_from_context(
+    ctx: TrackerContext,
+    gct_entries: Optional[int] = None,
+    rcc_entries: Optional[int] = None,
+    rcc_kb: Optional[int] = None,
+    rcc_ways: Optional[int] = None,
+    tg_fraction: Optional[float] = None,
+    enable_gct: bool = True,
+    enable_rcc: bool = True,
+    randomize_mapping: bool = False,
+) -> HydraTracker:
+    """Build a Hydra instance from context + full-scale overrides."""
+    if rcc_kb is not None:
+        if rcc_entries is not None:
+            raise ValueError("give rcc_entries or rcc_kb, not both")
+        ways = rcc_ways if rcc_ways is not None else ctx.rcc_ways
+        entries = (rcc_kb * 1024 // RCC_ENTRY_BYTES) // ways * ways
+        rcc_entries = max(ways, entries)
+    overrides: Dict[str, object] = {}
+    if gct_entries is not None:
+        overrides["gct_entries_full"] = gct_entries
+    if rcc_entries is not None:
+        overrides["rcc_entries_full"] = rcc_entries
+    if rcc_ways is not None:
+        overrides["rcc_ways"] = rcc_ways
+    if tg_fraction is not None:
+        overrides["tg_fraction"] = tg_fraction
+    if overrides:
+        ctx = replace(ctx, **overrides)
+    return HydraTracker(
+        ctx.hydra_config(
+            enable_gct=enable_gct,
+            enable_rcc=enable_rcc,
+            randomize_mapping=randomize_mapping,
+        )
+    )
+
+
+register_tracker(
+    "hydra",
+    summary="hybrid GCT + RCC + RCT tracking (this paper)",
+    params=_HYDRA_PARAMS,
+)(_hydra_from_context)
+
+
+@register_tracker(
+    "hydra-nogct", summary="Figure-8 ablation: per-row tracking only"
+)
+def _hydra_nogct_from_context(ctx: TrackerContext) -> HydraTracker:
+    return _hydra_from_context(ctx, enable_gct=False)
+
+
+@register_tracker(
+    "hydra-norcc", summary="Figure-8 ablation: no row-count cache"
+)
+def _hydra_norcc_from_context(ctx: TrackerContext) -> HydraTracker:
+    return _hydra_from_context(ctx, enable_rcc=False)
+
+
+@register_tracker(
+    "hydra-randomized", summary="Hydra with footnote-4 randomized mapping"
+)
+def _hydra_randomized_from_context(ctx: TrackerContext) -> HydraTracker:
+    tracker = _hydra_from_context(ctx, randomize_mapping=True)
+    tracker.name = "hydra-randomized"
+    return tracker

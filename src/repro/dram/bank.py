@@ -13,7 +13,7 @@ bus pressure from extra metadata line transfers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.dram.timing import DramTiming
@@ -141,6 +141,19 @@ class ChannelBus:
         if elapsed <= 0:
             return 0.0
         return min(1.0, self.busy_time / elapsed)
+
+
+def average_bus_utilization(buses, elapsed: float) -> float:
+    """Mean clamped utilization across channels.
+
+    The single bus-utilization implementation every reporter uses
+    (per-bus clamping via :meth:`ChannelBus.utilization`, so a burst
+    that nominally overruns the elapsed window cannot report > 100%).
+    """
+    buses = list(buses)
+    if elapsed <= 0 or not buses:
+        return 0.0
+    return sum(bus.utilization(elapsed) for bus in buses) / len(buses)
 
 
 @dataclass

@@ -10,7 +10,7 @@ refresh window. The memory bus runs at 1.6 GHz (3.2 GT/s DDR), so a
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: Nanoseconds per millisecond, for readability of window arithmetic.
 NS_PER_MS = 1_000_000.0

@@ -16,7 +16,7 @@ keeps the event loop cheap.
 from __future__ import annotations
 
 import abc
-from typing import NamedTuple, Optional, Sequence, Tuple
+from typing import Dict, NamedTuple, Optional, Sequence, Tuple
 
 
 class MetaAccess(NamedTuple):
@@ -78,6 +78,15 @@ class ActivationTracker(abc.ABC):
         """Total mitigations issued so far (for reports)."""
         return getattr(self, "mitigations", 0)
 
+    def extra_stats(self) -> Dict[str, object]:
+        """Tracker-specific result extras (JSON-serializable).
+
+        Whatever a tracker returns here lands verbatim in
+        ``RunResult.extra``, so the simulator needs no per-tracker
+        special cases (default: nothing).
+        """
+        return {}
+
 
 class NullTracker(ActivationTracker):
     """The insecure baseline: no tracking, no mitigation."""
@@ -100,9 +109,13 @@ def merge_responses(
     """Combine several slow-path responses into one (helper for tests)."""
     mitigate: Tuple[int, ...] = ()
     meta: Tuple[MetaAccess, ...] = ()
+    delay = 0.0
     for response in responses:
         mitigate += response.mitigate_rows
         meta += response.meta_accesses
-    if not mitigate and not meta:
+        delay += response.delay_ns
+    if not mitigate and not meta and delay == 0.0:
         return None
-    return TrackerResponse(mitigate_rows=mitigate, meta_accesses=meta)
+    return TrackerResponse(
+        mitigate_rows=mitigate, meta_accesses=meta, delay_ns=delay
+    )

@@ -18,7 +18,6 @@ This is the component Hydra lives in (Figure 3). Responsibilities:
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 from typing import Optional
 
@@ -29,9 +28,11 @@ from repro.dram.bank import (
     DramActivityStats,
     RankActWindow,
     RefreshTimeline,
+    average_bus_utilization,
 )
 from repro.dram.timing import DramGeometry, DramTiming
-from repro.interfaces import ActivationTracker, NullTracker
+from repro.interfaces import ActivationTracker, MetaAccess, NullTracker
+from repro.memctrl.feedback import TrackerFeedback, WindowResetSchedule
 from repro.memctrl.mitigation import VictimRefreshPolicy
 
 
@@ -90,21 +91,17 @@ class MemoryController:
         #: idle periods, so they are modelled as bus-only traffic.
         self.defer_meta_writes = defer_meta_writes
         #: Mitigation-induced activations are re-tracked (§5.2.1) up
-        #: to this chain depth. Depth 4 covers Half-Double-style
-        #: second-ring effects with margin; an unbounded chain only
-        #: arises for pathological degraded trackers (mitigate-every-
-        #: activation modes), where hardware would rate-limit too.
-        if max_feedback_depth < 1:
-            raise ValueError("max_feedback_depth must be >= 1")
+        #: to this chain depth; see :class:`TrackerFeedback`.
         self.max_feedback_depth = max_feedback_depth
+        self._feedback = TrackerFeedback(
+            self.tracker, self.policy, max_feedback_depth
+        )
         self.stats = ControllerStats()
         self._rows_per_bank = geometry.rows_per_bank
         self._banks_per_channel = (
             geometry.ranks_per_channel * geometry.banks_per_rank
         )
-        reset_divisor = getattr(self.tracker, "reset_divisor", 1)
-        self._reset_period = timing.refresh_window / reset_divisor
-        self._next_reset = self._reset_period
+        self._window = WindowResetSchedule(timing, self.tracker)
         self.end_time = 0.0
 
     # ------------------------------------------------------------------
@@ -115,7 +112,7 @@ class MemoryController:
         self, at: float, row_id: int, n_lines: int = 1, is_write: bool = False
     ) -> float:
         """One demand access of ``n_lines`` lines; returns completion time."""
-        if at >= self._next_reset:
+        if self._window.due(at):
             self._advance_window(at)
         bank_index = row_id // self._rows_per_bank
         bank = self.banks[bank_index]
@@ -140,65 +137,49 @@ class MemoryController:
     # ------------------------------------------------------------------
 
     def _report_activation(self, row_id: int, at: float) -> float:
-        """Feed activations into the tracker, performing any follow-up.
+        """Feed one activation (plus all follow-up) into the tracker.
 
-        Metadata accesses and victim refreshes requested by the tracker
-        are executed immediately (off the demand critical path); any
-        activations *they* cause are fed back, so mitigation-induced
-        hammering (Half-Double, §5.2.1) and metadata-row hammering
-        (§5.2.2) are both visible to the tracker. The worklist is
-        naturally bounded: each feedback activation needs ~T_H prior
-        activations to trigger further work.
+        The worklist itself lives in
+        :class:`~repro.memctrl.feedback.TrackerFeedback`; the hooks
+        below describe how *this* controller physically performs the
+        requested metadata traffic (immediately, off the demand
+        critical path) and victim refreshes.
         """
-        delay = 0.0
-        pending = deque(((row_id, 0),))
-        while pending:
-            row, depth = pending.popleft()
-            self.stats.tracker_activations += 1
-            response = self.tracker.on_activation(row)
-            if response is None:
-                continue
-            delay += response.delay_ns
-            for meta in response.meta_accesses:
-                meta_bank_index = meta.row_id // self._rows_per_bank
-                meta_bus = self.buses[
-                    meta_bank_index // self._banks_per_channel
-                ]
-                self.stats.meta_accesses += 1
-                self.stats.meta_line_transfers += meta.n_lines
-                if meta.is_write and self.defer_meta_writes:
-                    meta_bus.transfer(at, meta.n_lines)
-                    continue
-                meta_result = self.banks[meta_bank_index].access(
-                    at,
-                    meta.row_id % self._rows_per_bank,
-                    meta.n_lines,
-                    meta_bus,
-                    meta.is_write,
-                )
-                if meta_result.activated and depth < self.max_feedback_depth:
-                    pending.append((meta.row_id, depth + 1))
-            for aggressor in response.mitigate_rows:
-                for victim in self.policy.victims_of(aggressor):
-                    victim_bank = self.banks[victim // self._rows_per_bank]
-                    victim_bank.refresh_row(at)
-                    self.stats.victim_refreshes += 1
-                    if (
-                        self.count_mitigation_acts
-                        and depth < self.max_feedback_depth
-                    ):
-                        pending.append((victim, depth + 1))
-        return delay
+        return self._feedback.drive(row_id, at, self)
+
+    # FeedbackHandler hooks -------------------------------------------
+
+    def on_tracker_activation(self, row_id: int) -> None:
+        self.stats.tracker_activations += 1
+
+    def perform_meta_access(self, meta: MetaAccess, at: float) -> bool:
+        meta_bank_index = meta.row_id // self._rows_per_bank
+        meta_bus = self.buses[meta_bank_index // self._banks_per_channel]
+        self.stats.meta_accesses += 1
+        self.stats.meta_line_transfers += meta.n_lines
+        if meta.is_write and self.defer_meta_writes:
+            meta_bus.transfer(at, meta.n_lines)
+            return False
+        meta_result = self.banks[meta_bank_index].access(
+            at,
+            meta.row_id % self._rows_per_bank,
+            meta.n_lines,
+            meta_bus,
+            meta.is_write,
+        )
+        return meta_result.activated
+
+    def perform_victim_refresh(self, victim_row: int, at: float) -> bool:
+        self.banks[victim_row // self._rows_per_bank].refresh_row(at)
+        self.stats.victim_refreshes += 1
+        return self.count_mitigation_acts
 
     # ------------------------------------------------------------------
     # Window management and reporting
     # ------------------------------------------------------------------
 
     def _advance_window(self, at: float) -> None:
-        while at >= self._next_reset:
-            self.tracker.on_window_reset()
-            self.stats.window_resets += 1
-            self._next_reset += self._reset_period
+        self.stats.window_resets += self._window.advance(at, self.tracker)
 
     def activity(self) -> DramActivityStats:
         """Merged command counts across all banks."""
@@ -214,8 +195,5 @@ class MemoryController:
         return per_rank * self.geometry.channels * self.geometry.ranks_per_channel
 
     def bus_utilization(self) -> float:
-        if self.end_time <= 0:
-            return 0.0
-        return sum(bus.busy_time for bus in self.buses) / (
-            self.end_time * len(self.buses)
-        )
+        """Mean per-channel data-bus utilization, clamped to [0, 1]."""
+        return average_bus_utilization(self.buses, self.end_time)

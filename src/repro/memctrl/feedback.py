@@ -1,0 +1,135 @@
+"""Tracker machinery shared by both memory controllers.
+
+The fast controller (:mod:`repro.memctrl.controller`) and the queued
+FR-FCFS controller (:mod:`repro.memctrl.queued`) integrate trackers
+identically in *behaviour* — every activation is reported, tracker
+responses trigger metadata traffic and victim refreshes, and those
+follow-up activations are fed back (§5.2.1/§5.2.2) — while differing
+in *mechanism* (immediate resolution vs queues). This module holds the
+behaviour once:
+
+- :class:`TrackerFeedback` drives the bounded feedback worklist, with
+  the controller supplying how a metadata access or victim refresh is
+  physically performed;
+- :class:`WindowResetSchedule` owns the tracking-window reset cadence,
+  including the per-tracker ``reset_divisor`` (D-CBF rotates its
+  filters every half window).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.dram.timing import DramTiming
+from repro.interfaces import ActivationTracker, MetaAccess
+from repro.memctrl.mitigation import VictimRefreshPolicy
+
+
+class FeedbackHandler:
+    """What a controller must provide to drive tracker feedback.
+
+    Controllers implement these three hooks; :class:`TrackerFeedback`
+    never touches banks, buses, queues, or stats directly.
+    """
+
+    def on_tracker_activation(self, row_id: int) -> None:
+        """One activation is about to be reported to the tracker."""
+
+    def perform_meta_access(self, meta: MetaAccess, at: float) -> bool:
+        """Execute one tracker metadata access.
+
+        Returns True when the access activated a row *now* (and should
+        therefore be fed back into the tracker); deferred or queued
+        accesses return False and are accounted when they drain.
+        """
+        raise NotImplementedError
+
+    def perform_victim_refresh(self, victim_row: int, at: float) -> bool:
+        """Refresh one victim row.
+
+        Returns True when the refresh-induced activation should be fed
+        back into the tracker (§5.2.1 mitigation-act counting).
+        """
+        raise NotImplementedError
+
+
+class TrackerFeedback:
+    """Bounded worklist feeding tracker-caused activations back.
+
+    Metadata accesses and victim refreshes requested by the tracker
+    are executed through the handler; any activations *they* cause are
+    re-reported, so mitigation-induced hammering (Half-Double, §5.2.1)
+    and metadata-row hammering (§5.2.2) are both visible to the
+    tracker. The worklist is naturally bounded: each feedback
+    activation needs ~T_H prior activations to trigger further work,
+    and ``max_feedback_depth`` caps pathological chains (depth 4
+    covers Half-Double-style second-ring effects with margin).
+    """
+
+    __slots__ = ("tracker", "policy", "max_depth")
+
+    def __init__(
+        self,
+        tracker: ActivationTracker,
+        policy: VictimRefreshPolicy,
+        max_feedback_depth: int = 4,
+    ) -> None:
+        if max_feedback_depth < 1:
+            raise ValueError("max_feedback_depth must be >= 1")
+        self.tracker = tracker
+        self.policy = policy
+        self.max_depth = max_feedback_depth
+
+    def drive(
+        self, row_id: int, at: float, handler: FeedbackHandler
+    ) -> float:
+        """Report one activation and run all follow-up work.
+
+        Returns the total activation delay (ns) the tracker requested
+        (rate-control mitigations such as D-CBF's).
+        """
+        delay = 0.0
+        pending = deque(((row_id, 0),))
+        while pending:
+            row, depth = pending.popleft()
+            handler.on_tracker_activation(row)
+            response = self.tracker.on_activation(row)
+            if response is None:
+                continue
+            delay += response.delay_ns
+            requeue = depth < self.max_depth
+            for meta in response.meta_accesses:
+                if handler.perform_meta_access(meta, at) and requeue:
+                    pending.append((meta.row_id, depth + 1))
+            for aggressor in response.mitigate_rows:
+                for victim in self.policy.victims_of(aggressor):
+                    if handler.perform_victim_refresh(victim, at) and requeue:
+                        pending.append((victim, depth + 1))
+        return delay
+
+
+class WindowResetSchedule:
+    """Tracking-window reset cadence (64 ms, or window/divisor).
+
+    Trackers advertising ``reset_divisor = N`` are reset N times per
+    refresh window (D-CBF's filter rotation uses 2).
+    """
+
+    __slots__ = ("period", "next_reset")
+
+    def __init__(self, timing: DramTiming, tracker: ActivationTracker) -> None:
+        divisor = getattr(tracker, "reset_divisor", 1)
+        self.period = timing.refresh_window / divisor
+        self.next_reset = self.period
+
+    def due(self, at: float) -> bool:
+        return at >= self.next_reset
+
+    def advance(self, at: float, tracker: ActivationTracker) -> int:
+        """Fire every reset scheduled at or before ``at``; count them."""
+        fired = 0
+        while at >= self.next_reset:
+            tracker.on_window_reset()
+            self.next_reset += self.period
+            fired += 1
+        return fired

@@ -13,7 +13,7 @@ tracker like any others.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from repro.dram.address import AddressMapper

@@ -24,13 +24,20 @@ reads enter the read queue, metadata writes the write queue.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Deque, List, Optional
 
 from repro.dram.address import AddressMapper
-from repro.dram.bank import Bank, ChannelBus, RankActWindow, RefreshTimeline
+from repro.dram.bank import (
+    Bank,
+    ChannelBus,
+    RankActWindow,
+    RefreshTimeline,
+    average_bus_utilization,
+)
 from repro.dram.timing import DramGeometry, DramTiming
-from repro.interfaces import ActivationTracker, NullTracker
+from repro.interfaces import ActivationTracker, MetaAccess, NullTracker
+from repro.memctrl.feedback import TrackerFeedback, WindowResetSchedule
 from repro.memctrl.mitigation import VictimRefreshPolicy
 
 
@@ -57,6 +64,7 @@ class QueuedStats:
     meta_writes: int = 0
     victim_refreshes: int = 0
     window_resets: int = 0
+    tracker_activations: int = 0
 
 
 @dataclass
@@ -110,13 +118,14 @@ class QueuedMemoryController:
         self.write_queue_high = write_queue_high
         self.write_queue_low = write_queue_low
         self.max_feedback_depth = max_feedback_depth
+        self._feedback = TrackerFeedback(
+            self.tracker, self.policy, max_feedback_depth
+        )
         self._rows_per_bank = geometry.rows_per_bank
         self._banks_per_channel = (
             geometry.ranks_per_channel * geometry.banks_per_rank
         )
-        reset_divisor = getattr(self.tracker, "reset_divisor", 1)
-        self._reset_period = timing.refresh_window / reset_divisor
-        self._next_reset = self._reset_period
+        self._window = WindowResetSchedule(timing, self.tracker)
         self._read_queues: List[List[_Request]] = [
             [] for _ in range(geometry.channels)
         ]
@@ -159,7 +168,7 @@ class QueuedMemoryController:
                 earliest = issue + gap_ns
                 start = window[slot] if window[slot] > earliest else earliest
                 issue = start
-                if start >= self._next_reset:
+                if self._window.due(start):
                     self._advance_window(start)
                 self.stats.demand_requests += 1
                 request = _Request(start, row_id, n_lines, is_write, slot=slot)
@@ -281,41 +290,43 @@ class QueuedMemoryController:
     # ------------------------------------------------------------------
 
     def _report_activation(self, row_id: int, at: float) -> None:
-        pending = deque(((row_id, 0),))
-        while pending:
-            row, depth = pending.popleft()
-            response = self.tracker.on_activation(row)
-            if response is None:
-                continue
-            for meta in response.meta_accesses:
-                channel = self._channel_of(meta.row_id)
-                if meta.is_write:
-                    self.stats.meta_writes += 1
-                    self._write_queues[channel].append(
-                        _Request(at, meta.row_id, meta.n_lines, True)
-                    )
-                    self._note_write_peak(channel)
-                    continue
-                self.stats.meta_reads += 1
-                bank_index = meta.row_id // self._rows_per_bank
-                result = self.banks[bank_index].access(
-                    at,
-                    meta.row_id % self._rows_per_bank,
-                    meta.n_lines,
-                    self.buses[channel],
-                    False,
-                )
-                if result.activated and depth < self.max_feedback_depth:
-                    pending.append((meta.row_id, depth + 1))
-            for aggressor in response.mitigate_rows:
-                for victim in self.policy.victims_of(aggressor):
-                    self.banks[victim // self._rows_per_bank].refresh_row(at)
-                    self.stats.victim_refreshes += 1
-                    if depth < self.max_feedback_depth:
-                        pending.append((victim, depth + 1))
+        """Shared feedback worklist; this controller's hooks queue
+        metadata writes and perform metadata reads inline."""
+        self._feedback.drive(row_id, at, self)
+
+    # FeedbackHandler hooks -------------------------------------------
+
+    def on_tracker_activation(self, row_id: int) -> None:
+        self.stats.tracker_activations += 1
+
+    def perform_meta_access(self, meta: MetaAccess, at: float) -> bool:
+        channel = self._channel_of(meta.row_id)
+        if meta.is_write:
+            self.stats.meta_writes += 1
+            self._write_queues[channel].append(
+                _Request(at, meta.row_id, meta.n_lines, True)
+            )
+            self._note_write_peak(channel)
+            return False
+        self.stats.meta_reads += 1
+        bank_index = meta.row_id // self._rows_per_bank
+        result = self.banks[bank_index].access(
+            at,
+            meta.row_id % self._rows_per_bank,
+            meta.n_lines,
+            self.buses[channel],
+            False,
+        )
+        return result.activated
+
+    def perform_victim_refresh(self, victim_row: int, at: float) -> bool:
+        self.banks[victim_row // self._rows_per_bank].refresh_row(at)
+        self.stats.victim_refreshes += 1
+        return True
 
     def _advance_window(self, at: float) -> None:
-        while at >= self._next_reset:
-            self.tracker.on_window_reset()
-            self.stats.window_resets += 1
-            self._next_reset += self._reset_period
+        self.stats.window_resets += self._window.advance(at, self.tracker)
+
+    def bus_utilization(self) -> float:
+        """Mean per-channel data-bus utilization, clamped to [0, 1]."""
+        return average_bus_utilization(self.buses, self.end_time)

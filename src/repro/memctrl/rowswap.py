@@ -24,7 +24,7 @@ Pieces:
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.dram.timing import DramGeometry, DramTiming
 from repro.interfaces import ActivationTracker

@@ -15,12 +15,13 @@ paper's full 32 GB / 64 ms configuration.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, Optional
 
 from repro.core.config import HydraConfig
 from repro.dram.timing import PAPER_GEOMETRY, PAPER_TIMING, DramGeometry, DramTiming
+from repro.trackers.registry import TrackerContext
 from repro.workloads.synthetic import GeneratorConfig
 
 #: Environment variable overriding the default experiment scale
@@ -130,6 +131,28 @@ class SystemConfig:
             return PAPER_TIMING
         return PAPER_TIMING.scaled(self.scale)
 
+    def tracker_context(self) -> TrackerContext:
+        """The tracker-relevant slice of this system.
+
+        This is what spec-built trackers are constructed from (see
+        :mod:`repro.trackers.registry`); every tracker-parameter
+        derivation lives on the context so spec strings and
+        SystemConfig produce identical trackers.
+        """
+        return TrackerContext(
+            geometry=self.geometry,
+            timing=self.timing,
+            trh=self.trh,
+            scale=self.scale,
+            gct_entries_full=self.gct_entries_full,
+            rcc_entries_full=self.rcc_entries_full,
+            rcc_ways=self.rcc_ways,
+            tg_fraction=self.tg_fraction,
+            structure_scale=self.structure_scale,
+            cra_cache_full_bytes=self.cra_cache_full_bytes,
+            blast_radius=self.blast_radius,
+        )
+
     def hydra_config(
         self,
         enable_gct: bool = True,
@@ -137,28 +160,15 @@ class SystemConfig:
         randomize_mapping: bool = False,
     ) -> HydraConfig:
         """The Hydra design point, scaled with the system."""
-        full = HydraConfig(
-            geometry=PAPER_GEOMETRY,
-            trh=self.trh,
-            gct_entries=self.gct_entries_full * self.structure_scale,
-            rcc_entries=self.rcc_entries_full * self.structure_scale,
-            rcc_ways=self.rcc_ways,
-            tg_fraction=self.tg_fraction,
-            blast_radius=self.blast_radius,
+        return self.tracker_context().hydra_config(
             enable_gct=enable_gct,
             enable_rcc=enable_rcc,
             randomize_mapping=randomize_mapping,
         )
-        if self.scale == 1.0:
-            return full
-        return full.scaled(self.scale)
 
     def cra_cache_bytes(self) -> int:
         """CRA metadata cache, scaled, kept to whole 16-way sets."""
-        scaled = int(self.cra_cache_full_bytes * self.scale)
-        minimum = 16 * 64  # one 16-way set of 64 B lines
-        scaled = max(minimum, scaled - scaled % minimum)
-        return scaled
+        return self.tracker_context().cra_cache_bytes()
 
     def generator_config(self) -> GeneratorConfig:
         return GeneratorConfig(

@@ -67,8 +67,8 @@ def _tracker_sweep(
 def fig2_cra_cache_sweep(config: SystemConfig) -> dict:
     payload = {}
     for size_kb in (64, 128, 256):
-        sized = config.with_cra_cache(size_kb * 1024)
-        payload[f"cra-{size_kb}kb"] = _tracker_sweep(sized, ["cra"])["cra"]
+        spec = f"cra@cache_kb={size_kb}"
+        payload[f"cra-{size_kb}kb"] = _tracker_sweep(config, [spec])[spec]
     return payload
 
 
@@ -95,9 +95,10 @@ def fig6_distribution(config: SystemConfig) -> dict:
 def fig7_trh_sensitivity(config: SystemConfig) -> dict:
     payload = {}
     for trh in (500, 250, 125):
-        payload[str(trh)] = _tracker_sweep(config.with_trh(trh), ["hydra"])[
-            "hydra"
-        ]["suite_slowdowns_percent"]
+        spec = f"hydra@trh={trh}"
+        payload[str(trh)] = _tracker_sweep(config, [spec])[spec][
+            "suite_slowdowns_percent"
+        ]
     return payload
 
 
@@ -110,9 +111,10 @@ def fig8_ablation(config: SystemConfig) -> dict:
 def fig9_gct_size(config: SystemConfig) -> dict:
     payload = {}
     for entries in (16384, 32768, 65536):
-        payload[f"{entries // 1024}K"] = _tracker_sweep(
-            config.with_gct_entries(entries), ["hydra"]
-        )["hydra"]["suite_slowdowns_percent"]
+        spec = f"hydra@gct_entries={entries}"
+        payload[f"{entries // 1024}K"] = _tracker_sweep(config, [spec])[spec][
+            "suite_slowdowns_percent"
+        ]
     return payload
 
 
@@ -120,9 +122,10 @@ def fig9_gct_size(config: SystemConfig) -> dict:
 def fig10_tg(config: SystemConfig) -> dict:
     payload = {}
     for fraction in (0.50, 0.65, 0.80, 0.95):
-        payload[f"{int(fraction * 100)}%"] = _tracker_sweep(
-            config.with_tg_fraction(fraction), ["hydra"]
-        )["hydra"]["suite_slowdowns_percent"]
+        spec = f"hydra@tg_fraction={fraction}"
+        payload[f"{int(fraction * 100)}%"] = _tracker_sweep(config, [spec])[
+            spec
+        ]["suite_slowdowns_percent"]
     return payload
 
 

@@ -4,39 +4,35 @@
 model and a memory controller carrying the requested tracker, and
 packages the outcome as a :class:`~repro.sim.results.RunResult`.
 
-Tracker construction is name-driven (``make_tracker``) so sweeps and
-the benchmark harness can express configurations as plain strings:
-``baseline``, ``hydra``, ``hydra-nogct``, ``hydra-norcc``,
-``graphene``, ``cra`` (uses the config's cache size), ``ocpr``,
-``para``, ``dcbf``.
+Tracker construction is spec-driven (``make_tracker`` delegates to the
+declarative registry in :mod:`repro.trackers.registry`), so sweeps and
+the benchmark harness express configurations as plain strings: bare
+names (``baseline``, ``hydra``, ``graphene``, ``cra``, ...) or
+parameterized specs (``hydra@trh=1000,rcc_kb=28``,
+``cra@cache_kb=128``). Run ``repro list-trackers`` — or call
+:func:`repro.trackers.registry.available_trackers` — for the full
+catalogue and each tracker's parameters.
 
 ``simulate_workload`` is the self-contained (and picklable-argument)
 entry point used by parallel sweeps: given only a
-:class:`~repro.sim.config.SystemConfig` and two names, it regenerates
-the trace locally (memoized per process, so a pool worker pays for
-each workload's trace once) and runs the simulation.
+:class:`~repro.sim.config.SystemConfig` and two strings, it
+regenerates the trace locally (memoized per process, so a pool worker
+pays for each workload's trace once) and runs the simulation —
+because specs are strings, parallel sweeps get parameter sweeps for
+free.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.core.hydra import HydraTracker
 from repro.cpu.core import LimitedMlpCore
 from repro.dram.power import DramPowerModel
-from repro.interfaces import ActivationTracker, NullTracker
+from repro.interfaces import ActivationTracker
 from repro.memctrl.controller import MemoryController
 from repro.sim.config import SystemConfig
 from repro.sim.results import RunResult
-from repro.trackers.cat import CatTracker
-from repro.trackers.cra import CraTracker
-from repro.trackers.dcbf import DcbfTracker
-from repro.trackers.graphene import GrapheneTracker
-from repro.trackers.insecure import MrlocTracker, ProhitTracker
-from repro.trackers.mithril import MithrilTracker
-from repro.trackers.ocpr import OcprTracker
-from repro.trackers.para import ParaTracker
-from repro.trackers.twice import TwiceTracker
+from repro.trackers.registry import build_tracker
 from repro.workloads.characteristics import workload
 from repro.workloads.synthetic import SyntheticWorkloadGenerator
 from repro.workloads.trace import Trace
@@ -71,55 +67,12 @@ def simulate_workload(
 
 
 def make_tracker(name: str, config: SystemConfig) -> ActivationTracker:
-    """Instantiate a tracker by name for the given system."""
-    if name == "baseline":
-        return NullTracker()
-    if name == "hydra":
-        return HydraTracker(config.hydra_config())
-    if name == "hydra-randomized":
-        tracker = HydraTracker(config.hydra_config(randomize_mapping=True))
-        tracker.name = "hydra-randomized"
-        return tracker
-    if name == "hydra-nogct":
-        return HydraTracker(config.hydra_config(enable_gct=False))
-    if name == "hydra-norcc":
-        return HydraTracker(config.hydra_config(enable_rcc=False))
-    if name == "graphene":
-        return GrapheneTracker(
-            config.geometry, trh=config.trh, timing=config.timing
-        )
-    if name == "cra":
-        return CraTracker(
-            config.geometry,
-            trh=config.trh,
-            cache_bytes=config.cra_cache_bytes(),
-        )
-    if name == "ocpr":
-        return OcprTracker(config.geometry, trh=config.trh)
-    if name == "cat":
-        return CatTracker(
-            config.geometry, trh=config.trh, timing=config.timing
-        )
-    if name == "twice":
-        return TwiceTracker(
-            config.geometry, trh=config.trh, timing=config.timing
-        )
-    if name == "mithril":
-        return MithrilTracker(
-            config.geometry, trh=config.trh, timing=config.timing
-        )
-    if name == "mrloc":
-        return MrlocTracker()
-    if name == "prohit":
-        return ProhitTracker()
-    if name == "para":
-        return ParaTracker(trh=config.trh)
-    if name == "dcbf":
-        counters = max(1024, int((1 << 18) * config.scale))
-        return DcbfTracker(
-            trh=config.trh, counters_per_filter=counters, timing=config.timing
-        )
-    raise ValueError(f"unknown tracker {name!r}")
+    """Instantiate a tracker from a spec string for the given system.
+
+    ``name`` is anything the registry accepts: a bare tracker name or
+    a parameterized spec like ``hydra@trh=1000,rcc_kb=28``.
+    """
+    return build_tracker(name, config.tracker_context())
 
 
 def simulate(
@@ -148,16 +101,7 @@ def simulate(
         n_refreshes=controller.total_refreshes(),
         n_ranks=config.geometry.channels * config.geometry.ranks_per_channel,
     )
-    extra: Dict[str, object] = {}
-    if isinstance(tracker, HydraTracker):
-        extra["distribution"] = tracker.stats.distribution()
-        extra["group_inits"] = tracker.stats.group_inits
-        extra["rit_act_activations"] = tracker.stats.rit_act_activations
-    if isinstance(tracker, CraTracker):
-        total = tracker.cache.hits + tracker.cache.misses
-        extra["cache_miss_rate"] = (
-            tracker.cache.misses / total if total else 0.0
-        )
+    extra: Dict[str, object] = dict(tracker.extra_stats())
     return RunResult(
         workload=trace.name,
         tracker=getattr(tracker, "name", tracker_name),

@@ -39,6 +39,7 @@ from repro.sim.config import (
 )
 from repro.sim.results import Comparison, RunResult, geometric_mean
 from repro.sim.simulator import simulate_workload, trace_for_workload
+from repro.trackers.registry import canonical_spec
 from repro.workloads.characteristics import SUITES, all_names
 from repro.workloads.trace import Trace
 
@@ -49,8 +50,15 @@ MODEL_VERSION = "v1"
 def cell_key(
     config: SystemConfig, tracker_name: str, workload_name: str
 ) -> str:
-    """Stable cache key of one grid cell (shared with pool workers)."""
-    raw = f"{MODEL_VERSION}|{config.cache_key()}|{tracker_name}|{workload_name}"
+    """Stable cache key of one grid cell (shared with pool workers).
+
+    Tracker specs are canonicalized first, so spelling variants of one
+    configuration (``hydra@trh=250, rcc_ways=8`` vs
+    ``hydra@rcc_ways=8,trh=250``) share a cache entry — and invalid
+    specs fail fast here, before any work is fanned out.
+    """
+    spec = canonical_spec(tracker_name)
+    raw = f"{MODEL_VERSION}|{config.cache_key()}|{spec}|{workload_name}"
     return hashlib.sha256(raw.encode()).hexdigest()[:24]
 
 

@@ -22,6 +22,18 @@ from repro.trackers.insecure import MrlocTracker, ProhitTracker
 from repro.trackers.mithril import MithrilTracker
 from repro.trackers.ocpr import OcprTracker
 from repro.trackers.para import ParaTracker, para_probability
+from repro.trackers.registry import (
+    Param,
+    TrackerContext,
+    TrackerInfo,
+    TrackerSpec,
+    available_trackers,
+    build_tracker,
+    canonical_spec,
+    parse_spec,
+    register_tracker,
+    tracker_info,
+)
 from repro.trackers.twice import TwiceTracker
 from repro.trackers.storage import (
     RANK_GEOMETRY,
@@ -42,16 +54,26 @@ __all__ = [
     "MithrilTracker",
     "MrlocTracker",
     "NullTracker",
+    "Param",
     "ProhitTracker",
     "OcprTracker",
     "ParaTracker",
     "RANK_GEOMETRY",
     "StorageRow",
+    "TrackerContext",
+    "TrackerInfo",
     "TrackerResponse",
+    "TrackerSpec",
     "TwiceTracker",
+    "available_trackers",
+    "build_tracker",
+    "canonical_spec",
     "graphene_entries_per_bank",
     "merge_responses",
     "para_probability",
+    "parse_spec",
+    "register_tracker",
     "storage_table",
     "total_sram_table",
+    "tracker_info",
 ]

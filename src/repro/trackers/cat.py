@@ -22,10 +22,11 @@ T_RH=500) is provisioned to avoid.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.dram.timing import DramGeometry, DramTiming
 from repro.trackers.base import ActivationTracker, TrackerResponse
+from repro.trackers.registry import Param, TrackerContext, register_tracker
 
 
 @dataclass
@@ -158,3 +159,29 @@ class CatTracker(ActivationTracker):
 
     def counters_in_use(self) -> int:
         return sum(tree.counters_used for tree in self._trees)
+
+
+@register_tracker(
+    "cat",
+    summary="adaptive counter trees splitting hot ranges (CAT)",
+    params={
+        "split_fraction": Param(
+            float, 0.25, "leaf-split threshold as a fraction of T_H"
+        ),
+        "counters_per_bank": Param(
+            int, help="tree counter budget per bank (default: Table 1)"
+        ),
+    },
+)
+def _cat_from_context(
+    ctx: TrackerContext,
+    split_fraction: float = 0.25,
+    counters_per_bank: Optional[int] = None,
+) -> CatTracker:
+    return CatTracker(
+        ctx.geometry,
+        trh=ctx.trh,
+        timing=ctx.timing,
+        split_fraction=split_fraction,
+        counters_per_bank=counters_per_bank,
+    )

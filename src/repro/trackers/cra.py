@@ -26,6 +26,7 @@ from typing import List, Optional, Tuple
 from repro.core.rct import RowCountTable
 from repro.dram.timing import DramGeometry
 from repro.trackers.base import ActivationTracker, MetaAccess, TrackerResponse
+from repro.trackers.registry import Param, TrackerContext, register_tracker
 
 
 class LineMetadataCache:
@@ -152,9 +153,42 @@ class CraTracker(ActivationTracker):
         self.table.reset_all()
         self.cache.reset()
 
+    def extra_stats(self) -> dict:
+        """Metadata-cache behaviour (drives the Figure 2 analysis)."""
+        total = self.cache.hits + self.cache.misses
+        return {
+            "cache_miss_rate": self.cache.misses / total if total else 0.0,
+        }
+
     def sram_bytes(self) -> int:
         """Metadata cache data + ~25% tag/valid/LRU overhead."""
         return int(self.cache_bytes * 1.25)
 
     def dram_reserved_bytes(self) -> int:
         return self.table.dram_reserved_bytes()
+
+
+@register_tracker(
+    "cra",
+    summary="per-row DRAM counters behind a line-granularity cache",
+    params={
+        "cache_kb": Param(
+            int,
+            help="full-scale metadata cache size in KB (default 64,"
+            " scaled with the system)",
+        ),
+        "cache_ways": Param(int, 16, "metadata cache associativity"),
+    },
+)
+def _cra_from_context(
+    ctx: TrackerContext,
+    cache_kb: Optional[int] = None,
+    cache_ways: int = 16,
+) -> CraTracker:
+    full_bytes = cache_kb * 1024 if cache_kb is not None else None
+    return CraTracker(
+        ctx.geometry,
+        trh=ctx.trh,
+        cache_bytes=ctx.cra_cache_bytes(full_bytes),
+        cache_ways=cache_ways,
+    )

@@ -20,6 +20,7 @@ from typing import List, Optional, Tuple
 
 from repro.dram.timing import DramTiming
 from repro.trackers.base import ActivationTracker, TrackerResponse
+from repro.trackers.registry import Param, TrackerContext, register_tracker
 
 #: Large odd multipliers for the three hash functions (Knuth-style).
 _HASH_MULTIPLIERS = (0x9E3779B97F4A7C15, 0xC2B2AE3D27D4EB4F, 0x165667B19E3779F9)
@@ -114,3 +115,24 @@ class DcbfTracker(ActivationTracker):
         counter_bits = max(1, (self.threshold).bit_length())
         total_bits = 2 * self.filters[0].size * counter_bits
         return (total_bits + 7) // 8
+
+
+@register_tracker(
+    "dcbf",
+    summary="dual counting Bloom filters with delay-based mitigation",
+    params={
+        "counters_per_filter": Param(
+            int, help="CBF width (default: 2^18 scaled with the system)"
+        ),
+    },
+)
+def _dcbf_from_context(
+    ctx: TrackerContext, counters_per_filter: Optional[int] = None
+) -> DcbfTracker:
+    if counters_per_filter is None:
+        counters_per_filter = max(1024, int((1 << 18) * ctx.scale))
+    return DcbfTracker(
+        trh=ctx.trh,
+        counters_per_filter=counters_per_filter,
+        timing=ctx.timing,
+    )

@@ -25,6 +25,7 @@ from typing import Dict, Optional, Set
 
 from repro.dram.timing import DramGeometry, DramTiming
 from repro.trackers.base import ActivationTracker, TrackerResponse
+from repro.trackers.registry import Param, TrackerContext, register_tracker
 
 
 class _SpaceSavingTable:
@@ -153,3 +154,23 @@ class GrapheneTracker(ActivationTracker):
     def sram_bytes(self) -> int:
         """4 bytes per CAM entry (tag + count), per Table 1."""
         return 4 * self.entries_per_bank * self.geometry.total_banks
+
+
+@register_tracker(
+    "graphene",
+    summary="Misra-Gries frequent-row CAM per bank (MICRO 2020)",
+    params={
+        "entries_per_bank": Param(
+            int, help="table entries per bank (default: the §4.1 sizing)"
+        ),
+    },
+)
+def _graphene_from_context(
+    ctx: TrackerContext, entries_per_bank: Optional[int] = None
+) -> GrapheneTracker:
+    return GrapheneTracker(
+        ctx.geometry,
+        trh=ctx.trh,
+        timing=ctx.timing,
+        entries_per_bank=entries_per_bank,
+    )

@@ -35,6 +35,7 @@ from collections import deque
 from typing import Deque, Dict, List, Optional
 
 from repro.trackers.base import ActivationTracker, TrackerResponse
+from repro.trackers.registry import Param, TrackerContext, register_tracker
 
 
 class MrlocTracker(ActivationTracker):
@@ -156,3 +157,58 @@ class ProhitTracker(ActivationTracker):
 
     def sram_bytes(self) -> int:
         return 6 * (self.hot_entries + self.cold_entries)
+
+
+@register_tracker(
+    "mrloc",
+    summary="locality-adaptive probabilistic refresh (known-bypassable)",
+    params={
+        "queue_entries": Param(int, 16, "recent-victim queue length"),
+        "base_probability": Param(float, 0.002, "baseline refresh probability"),
+        "locality_boost": Param(float, 8.0, "probability boost while queued"),
+        "seed": Param(int, 0x4D524C, "PRNG seed"),
+    },
+)
+def _mrloc_from_context(
+    ctx: TrackerContext,
+    queue_entries: int = 16,
+    base_probability: float = 0.002,
+    locality_boost: float = 8.0,
+    seed: int = 0x4D524C,
+) -> MrlocTracker:
+    return MrlocTracker(
+        queue_entries=queue_entries,
+        base_probability=base_probability,
+        locality_boost=locality_boost,
+        seed=seed,
+    )
+
+
+@register_tracker(
+    "prohit",
+    summary="probabilistic hot/cold tables (known-bypassable)",
+    params={
+        "hot_entries": Param(int, 4, "hot-table entries"),
+        "cold_entries": Param(int, 8, "cold-table entries"),
+        "insert_probability": Param(float, 0.01, "cold-insert probability"),
+        "mitigation_interval": Param(
+            int, 512, "activations between opportunistic mitigations"
+        ),
+        "seed": Param(int, 0x50524F, "PRNG seed"),
+    },
+)
+def _prohit_from_context(
+    ctx: TrackerContext,
+    hot_entries: int = 4,
+    cold_entries: int = 8,
+    insert_probability: float = 0.01,
+    mitigation_interval: int = 512,
+    seed: int = 0x50524F,
+) -> ProhitTracker:
+    return ProhitTracker(
+        hot_entries=hot_entries,
+        cold_entries=cold_entries,
+        insert_probability=insert_probability,
+        mitigation_interval=mitigation_interval,
+        seed=seed,
+    )

@@ -23,6 +23,7 @@ from typing import Optional
 
 from repro.dram.timing import DramGeometry, DramTiming
 from repro.trackers.base import ActivationTracker, TrackerResponse
+from repro.trackers.registry import Param, TrackerContext, register_tracker
 from repro.trackers.graphene import _SpaceSavingTable
 
 
@@ -89,3 +90,29 @@ class MithrilTracker(ActivationTracker):
 
     def sram_bytes(self) -> int:
         return 4 * self.entries_per_bank * self.geometry.total_banks
+
+
+@register_tracker(
+    "mithril",
+    summary="Space-Saving table mitigated on RFM opportunities (Mithril)",
+    params={
+        "rfm_interval": Param(
+            int, help="activations per RFM opportunity (default: T_H/8)"
+        ),
+        "entries_per_bank": Param(
+            int, help="table entries per bank (default: derived)"
+        ),
+    },
+)
+def _mithril_from_context(
+    ctx: TrackerContext,
+    rfm_interval: Optional[int] = None,
+    entries_per_bank: Optional[int] = None,
+) -> MithrilTracker:
+    return MithrilTracker(
+        ctx.geometry,
+        trh=ctx.trh,
+        timing=ctx.timing,
+        rfm_interval=rfm_interval,
+        entries_per_bank=entries_per_bank,
+    )

@@ -14,6 +14,7 @@ from typing import List, Optional
 
 from repro.dram.timing import DramGeometry
 from repro.trackers.base import ActivationTracker, TrackerResponse
+from repro.trackers.registry import TrackerContext, register_tracker
 
 
 class OcprTracker(ActivationTracker):
@@ -48,3 +49,10 @@ class OcprTracker(ActivationTracker):
         """R rows x log2(T_RH) bits (Table 1's OCPR column)."""
         bits = max(1, (self.trh - 1).bit_length())
         return (self.geometry.total_rows * bits + 7) // 8
+
+
+@register_tracker(
+    "ocpr", summary="exact per-row SRAM counters (the idealized tracker)"
+)
+def _ocpr_from_context(ctx: TrackerContext) -> OcprTracker:
+    return OcprTracker(ctx.geometry, trh=ctx.trh)

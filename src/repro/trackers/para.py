@@ -14,6 +14,7 @@ import random
 from typing import Optional
 
 from repro.trackers.base import ActivationTracker, TrackerResponse
+from repro.trackers.registry import Param, TrackerContext, register_tracker
 
 
 def para_probability(trh: int, failure_exponent: int = 40) -> float:
@@ -71,3 +72,30 @@ class ParaTracker(ActivationTracker):
     def failure_probability(self, activations: int) -> float:
         """P(a specific row receives ``activations`` ACTs unmitigated)."""
         return math.pow(1.0 - self.probability, activations)
+
+
+@register_tracker(
+    "para",
+    summary="stateless probabilistic mitigation (PARA)",
+    params={
+        "probability": Param(
+            float, help="per-ACT mitigation probability (default: from trh)"
+        ),
+        "failure_exponent": Param(
+            int, 40, "target failure probability 2^-N per window"
+        ),
+        "seed": Param(int, 0xFADE, "PRNG seed"),
+    },
+)
+def _para_from_context(
+    ctx: TrackerContext,
+    probability: Optional[float] = None,
+    failure_exponent: int = 40,
+    seed: int = 0xFADE,
+) -> ParaTracker:
+    return ParaTracker(
+        trh=ctx.trh,
+        failure_exponent=failure_exponent,
+        seed=seed,
+        probability=probability,
+    )

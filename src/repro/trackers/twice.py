@@ -23,11 +23,11 @@ soundness is preserved even when under-provisioned.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.dram.timing import DramGeometry, DramTiming
 from repro.trackers.base import ActivationTracker, TrackerResponse
+from repro.trackers.registry import Param, TrackerContext, register_tracker
 
 
 class _BankTable:
@@ -143,3 +143,29 @@ class TwiceTracker(ActivationTracker):
 
     def occupancy(self) -> int:
         return sum(len(table.entries) for table in self._tables)
+
+
+@register_tracker(
+    "twice",
+    summary="pruned activation table in the buffer chip (TWiCe)",
+    params={
+        "entries_per_bank": Param(
+            int, help="table entries per bank (default: Table 1 sizing)"
+        ),
+        "prune_interval_acts": Param(
+            int, 2048, "activations between pruning passes"
+        ),
+    },
+)
+def _twice_from_context(
+    ctx: TrackerContext,
+    entries_per_bank: Optional[int] = None,
+    prune_interval_acts: int = 2048,
+) -> TwiceTracker:
+    return TwiceTracker(
+        ctx.geometry,
+        trh=ctx.trh,
+        timing=ctx.timing,
+        entries_per_bank=entries_per_bank,
+        prune_interval_acts=prune_interval_acts,
+    )

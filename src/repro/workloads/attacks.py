@@ -16,7 +16,7 @@ RCT (§5.2.2).
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

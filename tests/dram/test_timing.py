@@ -1,6 +1,5 @@
 """Tests for DDR4 timing parameters and geometry."""
 
-import math
 
 import pytest
 

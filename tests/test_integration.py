@@ -5,7 +5,7 @@ import pytest
 from repro.analysis.security import verify_tracker
 from repro.core.hydra import HydraTracker
 from repro.sim.config import SystemConfig
-from repro.sim.simulator import make_tracker, simulate
+from repro.sim.simulator import simulate
 from repro.sim.sweep import ExperimentRunner
 from repro.workloads import attacks
 from repro.workloads.trace import Trace

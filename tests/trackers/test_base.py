@@ -47,3 +47,20 @@ class TestMergeResponses:
         )
         assert merged.mitigate_rows == (1,)
         assert merged.meta_accesses == (MetaAccess(5, 1, False),)
+
+    def test_merge_accumulates_delay(self):
+        merged = merge_responses(
+            [
+                TrackerResponse(delay_ns=120.0),
+                TrackerResponse(mitigate_rows=(7,), delay_ns=30.0),
+            ]
+        )
+        assert merged.delay_ns == 150.0
+        assert merged.mitigate_rows == (7,)
+
+    def test_delay_only_merge_survives(self):
+        merged = merge_responses([TrackerResponse(delay_ns=45.0)])
+        assert merged is not None
+        assert merged.delay_ns == 45.0
+        assert merged.mitigate_rows == ()
+        assert merged.meta_accesses == ()

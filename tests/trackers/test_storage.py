@@ -8,7 +8,6 @@ from repro.trackers.storage import (
     dcbf_bytes_per_rank,
     graphene_bytes_per_rank,
     hydra_bytes_total,
-    ocpr_bytes_per_rank,
     storage_table,
     total_sram_table,
     twice_bytes_per_rank,

@@ -10,7 +10,7 @@ from repro.workloads.synthetic import (
     SyntheticWorkloadGenerator,
     usable_rows,
 )
-from repro.workloads.trace import characterize, statistics_by_window
+from repro.workloads.trace import characterize
 
 SCALE = 1.0 / 32.0
 
