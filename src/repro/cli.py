@@ -14,6 +14,11 @@ Subcommands:
 Everywhere a tracker is named (``--tracker``), a parameterized spec
 string is accepted too: ``hydra@trh=1000,rcc_kb=28``,
 ``cra@cache_kb=128``, ``para@probability=0.01``, ...
+
+``--engine {fast,queued}`` selects the memory-controller engine for
+``run``/``sweep``/``experiment`` (default: the fast in-order model);
+``engine=`` inside a spec string overrides it per tracker column
+(``--tracker hydra@engine=queued``).
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from typing import List, Optional
 
 from repro.core import HydraConfig, HydraTracker, hydra_storage
 from repro.analysis.security import verify_tracker
+from repro.memctrl import ENGINES
 from repro.sim import ExperimentRunner, SystemConfig, suite_geomeans
 from repro.trackers.storage import storage_table, total_sram_table
 from repro.workloads import all_names, attacks
@@ -48,6 +54,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--trh", type=int, default=500, help="RowHammer threshold")
     parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="fast",
+        help="memory-controller engine: 'fast' (in-order resolution, the"
+        " sweep default) or 'queued' (FR-FCFS + write-queue drain);"
+        " per-spec override: --tracker 'hydra@engine=queued'",
+    )
+    parser.add_argument(
         "--jobs",
         type=_jobs_type,
         default=None,
@@ -58,7 +72,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def _config(args: argparse.Namespace) -> SystemConfig:
-    return SystemConfig(scale=1.0 / args.scale_denominator, trh=args.trh)
+    return SystemConfig(
+        scale=1.0 / args.scale_denominator,
+        trh=args.trh,
+        engine=getattr(args, "engine", "fast"),
+    )
 
 
 def _runner(args: argparse.Namespace) -> ExperimentRunner:
@@ -72,6 +90,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     slowdown = 100.0 * (result.end_time_ns / base.end_time_ns - 1.0)
     print(f"workload          : {result.workload}")
     print(f"tracker           : {result.tracker}")
+    print(f"engine            : {result.engine}")
     print(f"execution time    : {result.end_time_ns / 1e6:.3f} ms "
           f"(baseline {base.end_time_ns / 1e6:.3f} ms, {slowdown:+.2f}%)")
     print(f"activations       : {result.activations}")

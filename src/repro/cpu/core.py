@@ -14,26 +14,20 @@ completion of the request ``mlp`` positions earlier (the window slot
 it reuses). Execution time is the completion of the last request.
 Relative slowdowns from this model track the full-OoO results the
 paper reports because tracking overhead is a bandwidth effect (§5.3).
+
+The replay loop itself is :func:`repro.memctrl.base.drive_in_order` —
+the same loop the fast engine's ``run_trace`` uses — so this class is
+a thin front-end for driving any ``access()``-style controller
+explicitly (e.g. alongside :class:`repro.cpu.ooo.OooCore`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.memctrl.base import EngineRunOutcome, drive_in_order
 
-from repro.memctrl.controller import MemoryController
-
-
-@dataclass
-class CoreRunResult:
-    """Outcome of replaying one trace through the memory system."""
-
-    end_time_ns: float
-    requests: int
-    total_latency_ns: float
-
-    @property
-    def average_latency_ns(self) -> float:
-        return self.total_latency_ns / self.requests if self.requests else 0.0
+#: Historical name of the run outcome; both core models and the
+#: engines now share one shape.
+CoreRunResult = EngineRunOutcome
 
 
 class LimitedMlpCore:
@@ -51,30 +45,11 @@ class LimitedMlpCore:
             raise ValueError("mlp must be positive")
         self.mlp = mlp
 
-    def run(self, trace, controller: MemoryController) -> CoreRunResult:
+    def run(self, trace, controller) -> EngineRunOutcome:
         """Replay ``trace`` (an iterable of request tuples).
 
         Each trace element is ``(gap_ns, row_id, n_lines, is_write)``;
-        see :class:`repro.workloads.trace.Trace`.
+        see :class:`repro.workloads.trace.Trace`. ``controller`` is
+        anything with the fast engine's ``access`` method.
         """
-        mlp = self.mlp
-        window = [0.0] * mlp
-        issue = 0.0
-        total_latency = 0.0
-        count = 0
-        access = controller.access
-        for gap_ns, row_id, n_lines, is_write in trace:
-            earliest = issue + gap_ns
-            slot = count % mlp
-            start = window[slot]
-            if start < earliest:
-                start = earliest
-            issue = start
-            done = access(start, row_id, n_lines, is_write)
-            window[slot] = done
-            total_latency += done - start
-            count += 1
-        end = max(window) if count else 0.0
-        return CoreRunResult(
-            end_time_ns=end, requests=count, total_latency_ns=total_latency
-        )
+        return drive_in_order(trace, controller.access, self.mlp)

@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cpu.core import CoreRunResult
-from repro.memctrl.controller import MemoryController
 
 
 @dataclass(frozen=True)
@@ -59,7 +58,7 @@ class OooCore:
         fit = int(params.rob_size // per_core_gap) * params.cores
         return max(1, min(params.mshrs, fit if fit > 0 else 1))
 
-    def run(self, trace, controller: MemoryController) -> CoreRunResult:
+    def run(self, trace, controller) -> CoreRunResult:
         """Replay ``(gap_ns, row, n_lines, is_write)`` requests.
 
         Gaps are program-intent times; they are converted back to

@@ -1,4 +1,4 @@
-"""Memory controller: demand scheduling + tracker hook + mitigation.
+"""Fast engine: in-order resolution + tracker hook + mitigation.
 
 This is the component Hydra lives in (Figure 3). Responsibilities:
 
@@ -14,44 +14,33 @@ This is the component Hydra lives in (Figure 3). Responsibilities:
 - execute victim-refresh mitigations through the blast-radius policy;
 - reset the tracker every tracking window (64 ms, or window/2 for
   D-CBF's filter rotation).
+
+Construction, the tracker-feedback loop, and the reporting surface are
+inherited from :class:`~repro.memctrl.base.BaseMemoryController`; this
+module adds only the in-order scheduling mechanism. The queued
+FR-FCFS engine lives in :mod:`repro.memctrl.queued`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
-from repro.dram.address import AddressMapper
-from repro.dram.bank import (
-    Bank,
-    ChannelBus,
-    DramActivityStats,
-    RankActWindow,
-    RefreshTimeline,
-    average_bus_utilization,
-)
 from repro.dram.timing import DramGeometry, DramTiming
-from repro.interfaces import ActivationTracker, MetaAccess, NullTracker
-from repro.memctrl.feedback import TrackerFeedback, WindowResetSchedule
-from repro.memctrl.mitigation import VictimRefreshPolicy
+from repro.interfaces import ActivationTracker, MetaAccess
+from repro.memctrl.base import (
+    BaseMemoryController,
+    ControllerStats,
+    EngineRunOutcome,
+    drive_in_order,
+)
+
+__all__ = ["ControllerStats", "MemoryController"]
 
 
-@dataclass
-class ControllerStats:
-    """Aggregate accounting of one controller's activity."""
+class MemoryController(BaseMemoryController):
+    """Two-channel DDR4 controller with in-order request resolution."""
 
-    demand_accesses: int = 0
-    demand_line_transfers: int = 0
-    meta_accesses: int = 0
-    meta_line_transfers: int = 0
-    victim_refreshes: int = 0
-    tracker_activations: int = 0
-    window_resets: int = 0
-    total_delay_ns: float = 0.0
-
-
-class MemoryController:
-    """Two-channel DDR4 controller with pluggable RowHammer tracking."""
+    engine = "fast"
 
     def __init__(
         self,
@@ -63,46 +52,27 @@ class MemoryController:
         defer_meta_writes: bool = True,
         max_feedback_depth: int = 4,
     ) -> None:
-        self.geometry = geometry
-        self.timing = timing
-        self.tracker = tracker if tracker is not None else NullTracker()
-        self.mapper = AddressMapper(geometry)
-        self.refresh = RefreshTimeline(timing)
-        n_ranks = geometry.channels * geometry.ranks_per_channel
-        self.rank_windows = [
-            RankActWindow(timing.t_faw, timing.t_rrd) for _ in range(n_ranks)
-        ]
-        self.banks = [
-            Bank(
-                timing,
-                self.refresh,
-                act_window=self.rank_windows[
-                    index // geometry.banks_per_rank
-                ],
-            )
-            for index in range(geometry.total_banks)
-        ]
-        self.buses = [ChannelBus(timing) for _ in range(geometry.channels)]
-        self.policy = VictimRefreshPolicy(self.mapper, blast_radius)
-        self.count_mitigation_acts = count_mitigation_acts
+        super().__init__(
+            geometry,
+            timing,
+            tracker,
+            blast_radius=blast_radius,
+            count_mitigation_acts=count_mitigation_acts,
+            max_feedback_depth=max_feedback_depth,
+        )
         #: Writes sit in the write queue and drain with lower priority
         #: than reads (USIMM prioritizes reads, Table 2 text). Deferred
         #: writes cost data-bus slots but their bank occupancy overlaps
         #: idle periods, so they are modelled as bus-only traffic.
         self.defer_meta_writes = defer_meta_writes
-        #: Mitigation-induced activations are re-tracked (§5.2.1) up
-        #: to this chain depth; see :class:`TrackerFeedback`.
-        self.max_feedback_depth = max_feedback_depth
-        self._feedback = TrackerFeedback(
-            self.tracker, self.policy, max_feedback_depth
-        )
-        self.stats = ControllerStats()
-        self._rows_per_bank = geometry.rows_per_bank
-        self._banks_per_channel = (
-            geometry.ranks_per_channel * geometry.banks_per_rank
-        )
-        self._window = WindowResetSchedule(timing, self.tracker)
-        self.end_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Engine protocol
+    # ------------------------------------------------------------------
+
+    def run_trace(self, trace, mlp: int = 16) -> EngineRunOutcome:
+        """Replay a trace through the limited-MLP in-order window."""
+        return drive_in_order(trace, self.access, mlp)
 
     # ------------------------------------------------------------------
     # Demand path
@@ -132,25 +102,7 @@ class MemoryController:
             self.end_time = completion
         return completion
 
-    # ------------------------------------------------------------------
-    # Tracker feedback loop
-    # ------------------------------------------------------------------
-
-    def _report_activation(self, row_id: int, at: float) -> float:
-        """Feed one activation (plus all follow-up) into the tracker.
-
-        The worklist itself lives in
-        :class:`~repro.memctrl.feedback.TrackerFeedback`; the hooks
-        below describe how *this* controller physically performs the
-        requested metadata traffic (immediately, off the demand
-        critical path) and victim refreshes.
-        """
-        return self._feedback.drive(row_id, at, self)
-
     # FeedbackHandler hooks -------------------------------------------
-
-    def on_tracker_activation(self, row_id: int) -> None:
-        self.stats.tracker_activations += 1
 
     def perform_meta_access(self, meta: MetaAccess, at: float) -> bool:
         meta_bank_index = meta.row_id // self._rows_per_bank
@@ -168,32 +120,3 @@ class MemoryController:
             meta.is_write,
         )
         return meta_result.activated
-
-    def perform_victim_refresh(self, victim_row: int, at: float) -> bool:
-        self.banks[victim_row // self._rows_per_bank].refresh_row(at)
-        self.stats.victim_refreshes += 1
-        return self.count_mitigation_acts
-
-    # ------------------------------------------------------------------
-    # Window management and reporting
-    # ------------------------------------------------------------------
-
-    def _advance_window(self, at: float) -> None:
-        self.stats.window_resets += self._window.advance(at, self.tracker)
-
-    def activity(self) -> DramActivityStats:
-        """Merged command counts across all banks."""
-        merged = DramActivityStats()
-        for bank in self.banks:
-            merged.merge(bank.stats)
-        return merged
-
-    def total_refreshes(self, until: Optional[float] = None) -> int:
-        """REF commands issued to all ranks by ``until`` (power model)."""
-        horizon = self.end_time if until is None else until
-        per_rank = self.refresh.refreshes_before(horizon)
-        return per_rank * self.geometry.channels * self.geometry.ranks_per_channel
-
-    def bus_utilization(self) -> float:
-        """Mean per-channel data-bus utilization, clamped to [0, 1]."""
-        return average_bus_utilization(self.buses, self.end_time)

@@ -1,6 +1,6 @@
-"""Queued memory controller: FR-FCFS arbitration + write-queue drain.
+"""Queued engine: FR-FCFS arbitration + write-queue drain.
 
-The fast controller (:mod:`repro.memctrl.controller`) resolves each
+The fast engine (:mod:`repro.memctrl.controller`) resolves each
 request immediately in arrival order — ideal for large sweeps. This
 discrete-event variant models the scheduling machinery USIMM has and
 the fast path abstracts:
@@ -12,13 +12,19 @@ the fast path abstracts:
   queue is empty (opportunistic) or when the queue crosses its high
   watermark (forced, blocking reads until the low watermark) — the
   "prioritizes read requests over write requests" behaviour of
-  Table 2's controller;
+  Table 2's controller; residual writes are fully flushed at end of
+  trace so activity, bus, and end-time accounting include them;
 - a closed admission loop: at most ``mlp`` demand requests are
   outstanding, so added queueing latency feeds back into throughput.
 
-Tracker integration matches the fast controller: every activation
+Tracker integration matches the fast engine: every activation
 (demand, metadata read, victim refresh) is reported; tracker metadata
-reads enter the read queue, metadata writes the write queue.
+reads enter the read queue, metadata writes the write queue; and
+rate-control delays (D-CBF) are charged to the triggering request's
+completion time. Construction and the reporting surface
+(``activity``/``total_refreshes``/``bus_utilization``) come from
+:class:`~repro.memctrl.base.BaseMemoryController`, so the DRAM power
+model works identically on both engines.
 """
 
 from __future__ import annotations
@@ -27,18 +33,15 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional
 
-from repro.dram.address import AddressMapper
-from repro.dram.bank import (
-    Bank,
-    ChannelBus,
-    RankActWindow,
-    RefreshTimeline,
-    average_bus_utilization,
-)
 from repro.dram.timing import DramGeometry, DramTiming
-from repro.interfaces import ActivationTracker, MetaAccess, NullTracker
-from repro.memctrl.feedback import TrackerFeedback, WindowResetSchedule
-from repro.memctrl.mitigation import VictimRefreshPolicy
+from repro.interfaces import ActivationTracker, MetaAccess
+from repro.memctrl.base import (
+    BaseMemoryController,
+    ControllerStats,
+    EngineRunOutcome,
+)
+
+__all__ = ["QueuedMemoryController", "QueuedStats"]
 
 
 @dataclass
@@ -53,34 +56,24 @@ class _Request:
 
 
 @dataclass
-class QueuedStats:
-    demand_requests: int = 0
+class QueuedStats(ControllerStats):
+    """Shared controller accounting plus FR-FCFS scheduler counters."""
+
     read_queue_peak: int = 0
     write_queue_peak: int = 0
     forced_write_drains: int = 0
     opportunistic_writes: int = 0
     row_hit_first_picks: int = 0
+    flushed_writes: int = 0
     meta_reads: int = 0
     meta_writes: int = 0
-    victim_refreshes: int = 0
-    window_resets: int = 0
-    tracker_activations: int = 0
 
 
-@dataclass
-class QueuedRunResult:
-    end_time_ns: float
-    requests: int
-    total_latency_ns: float
-    stats: QueuedStats
+class QueuedMemoryController(BaseMemoryController):
+    """Discrete-event engine with explicit queues."""
 
-    @property
-    def average_latency_ns(self) -> float:
-        return self.total_latency_ns / self.requests if self.requests else 0.0
-
-
-class QueuedMemoryController:
-    """Discrete-event controller with explicit queues."""
+    engine = "queued"
+    stats_class = QueuedStats
 
     def __init__(
         self,
@@ -90,63 +83,42 @@ class QueuedMemoryController:
         blast_radius: int = 2,
         write_queue_high: int = 32,
         write_queue_low: int = 8,
+        count_mitigation_acts: bool = True,
         max_feedback_depth: int = 4,
     ) -> None:
         if not 0 <= write_queue_low < write_queue_high:
             raise ValueError("need 0 <= low watermark < high watermark")
-        self.geometry = geometry
-        self.timing = timing
-        self.tracker = tracker if tracker is not None else NullTracker()
-        self.mapper = AddressMapper(geometry)
-        self.refresh = RefreshTimeline(timing)
-        n_ranks = geometry.channels * geometry.ranks_per_channel
-        self.rank_windows = [
-            RankActWindow(timing.t_faw, timing.t_rrd) for _ in range(n_ranks)
-        ]
-        self.banks = [
-            Bank(
-                timing,
-                self.refresh,
-                act_window=self.rank_windows[
-                    index // geometry.banks_per_rank
-                ],
-            )
-            for index in range(geometry.total_banks)
-        ]
-        self.buses = [ChannelBus(timing) for _ in range(geometry.channels)]
-        self.policy = VictimRefreshPolicy(self.mapper, blast_radius)
+        super().__init__(
+            geometry,
+            timing,
+            tracker,
+            blast_radius=blast_radius,
+            count_mitigation_acts=count_mitigation_acts,
+            max_feedback_depth=max_feedback_depth,
+        )
         self.write_queue_high = write_queue_high
         self.write_queue_low = write_queue_low
-        self.max_feedback_depth = max_feedback_depth
-        self._feedback = TrackerFeedback(
-            self.tracker, self.policy, max_feedback_depth
-        )
-        self._rows_per_bank = geometry.rows_per_bank
-        self._banks_per_channel = (
-            geometry.ranks_per_channel * geometry.banks_per_rank
-        )
-        self._window = WindowResetSchedule(timing, self.tracker)
         self._read_queues: List[List[_Request]] = [
             [] for _ in range(geometry.channels)
         ]
         self._write_queues: List[Deque[_Request]] = [
             deque() for _ in range(geometry.channels)
         ]
-        self.stats = QueuedStats()
-        self.end_time = 0.0
 
     # ------------------------------------------------------------------
-    # Closed-loop trace execution
+    # Closed-loop trace execution (engine protocol)
     # ------------------------------------------------------------------
 
-    def run_trace(self, trace, mlp: int = 16) -> QueuedRunResult:
+    def run_trace(self, trace, mlp: int = 16) -> EngineRunOutcome:
         """Replay a trace with at most ``mlp`` outstanding requests.
 
         Requests are admitted in batches of up to ``mlp`` (the
         outstanding window), queued, then serviced by the FR-FCFS
         scheduler — so row-hit reordering among in-flight requests
-        actually happens, unlike the fast controller's in-order
-        resolution.
+        actually happens, unlike the fast engine's in-order
+        resolution. After the last batch every write queue is flushed,
+        so the end time and all activity stats account for writes that
+        were still buffered when the trace ran out.
         """
         if mlp <= 0:
             raise ValueError("mlp must be positive")
@@ -170,7 +142,8 @@ class QueuedMemoryController:
                 issue = start
                 if self._window.due(start):
                     self._advance_window(start)
-                self.stats.demand_requests += 1
+                self.stats.demand_accesses += 1
+                self.stats.demand_line_transfers += n_lines
                 request = _Request(start, row_id, n_lines, is_write, slot=slot)
                 count += 1
                 channel = self._channel_of(row_id)
@@ -196,19 +169,16 @@ class QueuedMemoryController:
         end = max(window) if count else 0.0
         if end > self.end_time:
             self.end_time = end
-        return QueuedRunResult(
-            end_time_ns=end,
+        self._flush_write_queues(self.end_time)
+        return EngineRunOutcome(
+            end_time_ns=self.end_time,
             requests=count,
             total_latency_ns=total_latency,
-            stats=self.stats,
         )
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-
-    def _channel_of(self, row_id: int) -> int:
-        return (row_id // self._rows_per_bank) // self._banks_per_channel
 
     def _service_one_read(self, channel: int, now: float) -> float:
         """Pick and perform one read per FR-FCFS."""
@@ -237,12 +207,16 @@ class QueuedMemoryController:
             bus,
             request.is_write,
         )
-        request.completion = result.completion
-        if result.completion > self.end_time:
-            self.end_time = result.completion
+        completion = result.completion
         if result.activated:
-            self._report_activation(request.row_id, result.act_time)
-        return result.completion
+            delay = self._report_activation(request.row_id, result.act_time)
+            if delay:
+                completion += delay
+                self.stats.total_delay_ns += delay
+        request.completion = completion
+        if completion > self.end_time:
+            self.end_time = completion
+        return completion
 
     # ------------------------------------------------------------------
     # Write queue
@@ -271,6 +245,20 @@ class QueuedMemoryController:
         while len(writes) > self.write_queue_low:
             self._perform_write(channel, writes.popleft(), now)
 
+    def _flush_write_queues(self, now: float) -> None:
+        """Drain every residual write at end of trace.
+
+        Writes "retire into the queue" during execution; without the
+        final drain they would never touch a bank, understating end
+        time, bus utilization, and metadata-write activations. Feedback
+        from the flush (metadata writes caused by write activations)
+        lands back in the queues and is drained in the same loop.
+        """
+        for channel, writes in enumerate(self._write_queues):
+            while writes:
+                self._perform_write(channel, writes.popleft(), now)
+                self.stats.flushed_writes += 1
+
     def _perform_write(self, channel: int, request: _Request, now: float) -> None:
         bank_index = request.row_id // self._rows_per_bank
         result = self.banks[bank_index].access(
@@ -280,27 +268,22 @@ class QueuedMemoryController:
             self.buses[channel],
             is_write=True,
         )
-        if result.completion > self.end_time:
-            self.end_time = result.completion
+        completion = result.completion
         if result.activated:
-            self._report_activation(request.row_id, result.act_time)
-
-    # ------------------------------------------------------------------
-    # Tracker integration
-    # ------------------------------------------------------------------
-
-    def _report_activation(self, row_id: int, at: float) -> None:
-        """Shared feedback worklist; this controller's hooks queue
-        metadata writes and perform metadata reads inline."""
-        self._feedback.drive(row_id, at, self)
+            delay = self._report_activation(request.row_id, result.act_time)
+            if delay:
+                completion += delay
+                self.stats.total_delay_ns += delay
+        request.completion = completion
+        if completion > self.end_time:
+            self.end_time = completion
 
     # FeedbackHandler hooks -------------------------------------------
 
-    def on_tracker_activation(self, row_id: int) -> None:
-        self.stats.tracker_activations += 1
-
     def perform_meta_access(self, meta: MetaAccess, at: float) -> bool:
         channel = self._channel_of(meta.row_id)
+        self.stats.meta_accesses += 1
+        self.stats.meta_line_transfers += meta.n_lines
         if meta.is_write:
             self.stats.meta_writes += 1
             self._write_queues[channel].append(
@@ -319,14 +302,20 @@ class QueuedMemoryController:
         )
         return result.activated
 
-    def perform_victim_refresh(self, victim_row: int, at: float) -> bool:
-        self.banks[victim_row // self._rows_per_bank].refresh_row(at)
-        self.stats.victim_refreshes += 1
-        return True
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
 
-    def _advance_window(self, at: float) -> None:
-        self.stats.window_resets += self._window.advance(at, self.tracker)
-
-    def bus_utilization(self) -> float:
-        """Mean per-channel data-bus utilization, clamped to [0, 1]."""
-        return average_bus_utilization(self.buses, self.end_time)
+    def result_extras(self):
+        extras = super().result_extras()
+        extras.update(
+            read_queue_peak=self.stats.read_queue_peak,
+            write_queue_peak=self.stats.write_queue_peak,
+            forced_write_drains=self.stats.forced_write_drains,
+            opportunistic_writes=self.stats.opportunistic_writes,
+            row_hit_first_picks=self.stats.row_hit_first_picks,
+            flushed_writes=self.stats.flushed_writes,
+            meta_reads=self.stats.meta_reads,
+            meta_writes=self.stats.meta_writes,
+        )
+        return extras

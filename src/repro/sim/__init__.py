@@ -10,7 +10,12 @@ from repro.sim.config import (
     resolve_jobs,
 )
 from repro.sim.results import Comparison, RunResult, geometric_mean
-from repro.sim.simulator import make_tracker, simulate, simulate_workload
+from repro.sim.simulator import (
+    make_tracker,
+    simulate,
+    simulate_workload,
+    trace_for_workload,
+)
 from repro.sim.sweep import (
     ExperimentRunner,
     SweepProgress,
@@ -38,4 +43,5 @@ __all__ = [
     "simulate_workload",
     "suite_geomeans",
     "suite_slowdowns",
+    "trace_for_workload",
 ]

@@ -21,6 +21,7 @@ from typing import Dict, Optional
 
 from repro.core.config import HydraConfig
 from repro.dram.timing import PAPER_GEOMETRY, PAPER_TIMING, DramGeometry, DramTiming
+from repro.memctrl.base import normalize_engine
 from repro.trackers.registry import TrackerContext
 from repro.workloads.synthetic import GeneratorConfig
 
@@ -108,12 +109,18 @@ class SystemConfig:
     n_windows: int = 2
     chunk_lines: int = 16
     seed: int = 2022
+    #: Memory-controller scheduling engine: ``"fast"`` (in-order
+    #: resolution, the sweep default) or ``"queued"`` (FR-FCFS read
+    #: queues + watermark-drained write queue). See
+    #: :data:`repro.memctrl.ENGINES`.
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
         if not 0 < self.scale <= 1:
             raise ValueError("scale must be in (0, 1]")
         if self.structure_scale < 1:
             raise ValueError("structure_scale must be >= 1")
+        normalize_engine(self.engine)
 
     # ------------------------------------------------------------------
     # Derived hardware
@@ -199,13 +206,33 @@ class SystemConfig:
     def with_cra_cache(self, full_bytes: int) -> "SystemConfig":
         return replace(self, cra_cache_full_bytes=full_bytes)
 
+    def with_engine(self, engine: str) -> "SystemConfig":
+        """The same system run on a different scheduling engine."""
+        return replace(self, engine=normalize_engine(engine))
+
     def cache_key(self) -> str:
-        """Stable identifier for result caching."""
+        """Stable identifier for result caching.
+
+        The engine is part of the key, so cached fast-engine results
+        are never served for queued runs (and vice versa).
+        """
         return (
             f"s{self.scale:.6f}-t{self.trh}-g{self.gct_entries_full}"
             f"-r{self.rcc_entries_full}x{self.rcc_ways}-f{self.tg_fraction}"
             f"-x{self.structure_scale}-c{self.cra_cache_full_bytes}"
             f"-b{self.blast_radius}-m{self.mlp}-w{self.n_windows}"
+            f"-k{self.chunk_lines}-e{self.seed}-n{self.engine}"
+        )
+
+    def trace_key(self) -> str:
+        """Identity of the generated trace (engine/tracker agnostic).
+
+        Only the fields :meth:`generator_config` consumes participate,
+        so e.g. fast and queued runs of one system share a memoized
+        trace instead of regenerating it per engine.
+        """
+        return (
+            f"s{self.scale:.6f}-w{self.n_windows}"
             f"-k{self.chunk_lines}-e{self.seed}"
         )
 

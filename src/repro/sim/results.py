@@ -29,7 +29,11 @@ class RunResult:
     activations: int
     bus_utilization: float
     dram_power_w: float
-    #: Tracker-specific extras (e.g. Hydra's Figure 6 distribution).
+    #: Scheduling engine that produced the run (``fast`` | ``queued``).
+    #: Defaults to ``fast`` so pre-engine cached payloads still load.
+    engine: str = "fast"
+    #: Tracker- and engine-specific extras (e.g. Hydra's Figure 6
+    #: distribution, the queued engine's scheduler counters).
     extra: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:

@@ -1,15 +1,20 @@
-"""End-to-end simulation runner: trace -> core -> controller -> DRAM.
+"""End-to-end simulation runner: trace -> engine -> DRAM.
 
-``simulate`` wires one workload trace through the limited-MLP core
-model and a memory controller carrying the requested tracker, and
-packages the outcome as a :class:`~repro.sim.results.RunResult`.
+``simulate`` wires one workload trace through a memory-controller
+*engine* carrying the requested tracker, and packages the outcome as a
+:class:`~repro.sim.results.RunResult`. Both engines — the fast
+in-order controller and the queued FR-FCFS controller — run through
+this single code path (``build_controller`` + ``run_trace``), so
+every consumer (sweeps, the result cache, benchmarks, the CLI) is
+engine-agnostic: set ``SystemConfig.engine`` or put ``engine=queued``
+in a tracker spec and nothing else changes.
 
 Tracker construction is spec-driven (``make_tracker`` delegates to the
 declarative registry in :mod:`repro.trackers.registry`), so sweeps and
 the benchmark harness express configurations as plain strings: bare
 names (``baseline``, ``hydra``, ``graphene``, ``cra``, ...) or
 parameterized specs (``hydra@trh=1000,rcc_kb=28``,
-``cra@cache_kb=128``). Run ``repro list-trackers`` — or call
+``hydra@engine=queued``). Run ``repro list-trackers`` — or call
 :func:`repro.trackers.registry.available_trackers` — for the full
 catalogue and each tracker's parameters.
 
@@ -18,37 +23,37 @@ entry point used by parallel sweeps: given only a
 :class:`~repro.sim.config.SystemConfig` and two strings, it
 regenerates the trace locally (memoized per process, so a pool worker
 pays for each workload's trace once) and runs the simulation —
-because specs are strings, parallel sweeps get parameter sweeps for
-free.
+because specs are strings, parallel sweeps get parameter *and engine*
+sweeps for free.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.cpu.core import LimitedMlpCore
 from repro.dram.power import DramPowerModel
 from repro.interfaces import ActivationTracker
-from repro.memctrl.controller import MemoryController
+from repro.memctrl import build_controller, normalize_engine
 from repro.sim.config import SystemConfig
 from repro.sim.results import RunResult
-from repro.trackers.registry import build_tracker
+from repro.trackers.registry import build_tracker, spec_engine
 from repro.workloads.characteristics import workload
 from repro.workloads.synthetic import SyntheticWorkloadGenerator
 from repro.workloads.trace import Trace
 
 TrackerFactory = Callable[[SystemConfig], ActivationTracker]
 
-#: Per-process trace memo keyed by (config identity, workload name).
+#: Per-process trace memo keyed by (trace identity, workload name).
 #: Traces are deterministic functions of both, so sharing across
-#: simulations — including across the tasks a pool worker executes —
-#: is safe and saves regenerating a trace for every tracker column.
+#: simulations — including across the tasks a pool worker executes,
+#: and across engines — is safe and saves regenerating a trace for
+#: every tracker column.
 _TRACE_MEMO: Dict[Tuple[str, str], Trace] = {}
 
 
 def trace_for_workload(config: SystemConfig, workload_name: str) -> Trace:
     """Generate (or recall) the trace of one workload on one system."""
-    memo_key = (config.cache_key(), workload_name)
+    memo_key = (config.trace_key(), workload_name)
     trace = _TRACE_MEMO.get(memo_key)
     if trace is None:
         generator = SyntheticWorkloadGenerator(config.generator_config())
@@ -80,18 +85,29 @@ def simulate(
     config: SystemConfig,
     tracker_name: str = "hydra",
     tracker: Optional[ActivationTracker] = None,
+    engine: Optional[str] = None,
 ) -> RunResult:
-    """Run one trace through one system configuration."""
+    """Run one trace through one system configuration.
+
+    The engine is resolved in precedence order: the explicit
+    ``engine`` argument, an ``engine=`` override in the tracker spec,
+    then ``config.engine``.
+    """
+    if engine is None:
+        if tracker is None:
+            engine = spec_engine(tracker_name)
+        engine = engine or config.engine
+    engine = normalize_engine(engine)
     if tracker is None:
         tracker = make_tracker(tracker_name, config)
-    controller = MemoryController(
+    controller = build_controller(
+        engine,
         geometry=config.geometry,
         timing=config.timing,
         tracker=tracker,
         blast_radius=config.blast_radius,
     )
-    core = LimitedMlpCore(mlp=config.mlp)
-    outcome = core.run(trace, controller)
+    outcome = controller.run_trace(trace, mlp=config.mlp)
 
     activity = controller.activity()
     power_model = DramPowerModel(config.timing)
@@ -101,7 +117,8 @@ def simulate(
         n_refreshes=controller.total_refreshes(),
         n_ranks=config.geometry.channels * config.geometry.ranks_per_channel,
     )
-    extra: Dict[str, object] = dict(tracker.extra_stats())
+    extra: Dict[str, object] = dict(controller.result_extras())
+    extra.update(tracker.extra_stats())
     return RunResult(
         workload=trace.name,
         tracker=getattr(tracker, "name", tracker_name),
@@ -117,5 +134,6 @@ def simulate(
         activations=activity.activations,
         bus_utilization=controller.bus_utilization(),
         dram_power_w=power.average_power,
+        engine=engine,
         extra=extra,
     )

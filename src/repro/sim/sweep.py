@@ -7,6 +7,13 @@ means. :class:`ExperimentRunner` executes those grids, caching each
 targets that share runs (e.g. Figure 5's Hydra column and Figure 6's
 distribution) pay for each simulation once.
 
+Grids are engine-agnostic: ``SystemConfig.engine`` selects the
+memory-controller engine (fast in-order vs queued FR-FCFS) for every
+cell, and a per-column override rides in the spec string
+(``hydra@engine=queued``) — both are part of the cache key, so fast
+and queued results share one cache directory without ever being
+served for each other.
+
 Grid cells are independent deterministic simulations, so
 ``run_grid``/``compare`` can fan them out across a process pool: pass
 ``jobs=N`` (or ``jobs=0`` for one worker per CPU), or set the
@@ -55,7 +62,10 @@ def cell_key(
     Tracker specs are canonicalized first, so spelling variants of one
     configuration (``hydra@trh=250, rcc_ways=8`` vs
     ``hydra@rcc_ways=8,trh=250``) share a cache entry — and invalid
-    specs fail fast here, before any work is fanned out.
+    specs fail fast here, before any work is fanned out. The engine
+    participates twice: via ``config.cache_key()`` and via any
+    ``engine=`` spec override, so fast and queued results never share
+    a key.
     """
     spec = canonical_spec(tracker_name)
     raw = f"{MODEL_VERSION}|{config.cache_key()}|{spec}|{workload_name}"

@@ -46,6 +46,7 @@ from repro.dram.timing import (
     DramTiming,
 )
 from repro.interfaces import ActivationTracker, NullTracker
+from repro.memctrl.base import ENGINES
 
 #: Modules whose import populates the registry (all built-in trackers
 #: live in one of these). Imported lazily so the registry module stays
@@ -143,12 +144,15 @@ class Param:
     """One typed, documented tracker parameter.
 
     ``default=None`` means the value is derived from the
-    :class:`TrackerContext` when not given explicitly.
+    :class:`TrackerContext` when not given explicitly. ``choices``
+    restricts the value to an enumerated set (validated at parse
+    time).
     """
 
     type: type
     default: Any = None
     help: str = ""
+    choices: Optional[Tuple[Any, ...]] = None
 
 
 @dataclass(frozen=True)
@@ -169,6 +173,12 @@ UNIVERSAL_PARAMS: Dict[str, Param] = {
     "trh": Param(
         int,
         help="RowHammer threshold (applies SystemConfig.with_trh's policy)",
+    ),
+    "engine": Param(
+        str,
+        choices=ENGINES,
+        help="memory-controller engine the simulation runs on"
+        " (overrides SystemConfig.engine)",
     ),
 }
 
@@ -267,12 +277,18 @@ def _coerce(spec: str, name: str, param: Param, raw: str) -> Any:
             " boolean (use true/false)"
         )
     try:
-        return param.type(raw)
+        value = param.type(raw)
     except ValueError:
         raise ValueError(
             f"bad value for {name!r} in spec {spec!r}: {raw!r} is not"
             f" {param.type.__name__}"
         ) from None
+    if param.choices is not None and value not in param.choices:
+        raise ValueError(
+            f"bad value for {name!r} in spec {spec!r}: {raw!r} is not one"
+            " of " + ", ".join(str(choice) for choice in param.choices)
+        )
+    return value
 
 
 def parse_spec(spec: Union[str, TrackerSpec]) -> TrackerSpec:
@@ -318,6 +334,17 @@ def canonical_spec(spec: Union[str, TrackerSpec]) -> str:
     return parse_spec(spec).canonical()
 
 
+def spec_engine(spec: Union[str, TrackerSpec]) -> Optional[str]:
+    """The ``engine=`` override a spec carries, if any.
+
+    ``engine`` is a universal parameter but configures the *simulation*
+    (which memory-controller engine runs the trace) rather than the
+    tracker, so the simulator extracts it here and ``build_tracker``
+    ignores it.
+    """
+    return dict(parse_spec(spec).params).get("engine")
+
+
 def build_tracker(
     spec: Union[str, TrackerSpec], context: TrackerContext
 ) -> ActivationTracker:
@@ -328,6 +355,7 @@ def build_tracker(
     trh = params.pop("trh", None)
     if trh is not None:
         context = context.with_trh(trh)
+    params.pop("engine", None)  # simulation-level; see spec_engine()
     return info.builder(context, **params)
 
 

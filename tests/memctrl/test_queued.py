@@ -103,6 +103,89 @@ class TestWriteQueue:
             make(write_queue_high=4, write_queue_low=4)
 
 
+class TestFinalWriteDrain:
+    def test_write_queues_flushed_at_end_of_trace(self):
+        """Writes retire into the queue during execution; the residue
+        must hit the banks before the result is computed."""
+        mc = make()
+        rows = list(range(0, 160, 4))
+        result = mc.run_trace(
+            trace_of(rows, gap=1.0, writes=[True] * len(rows)), mlp=8
+        )
+        assert all(not q for q in mc._write_queues)
+        assert mc.stats.flushed_writes > 0
+        # Every write actually reached a bank.
+        activity = mc.activity()
+        assert activity.write_lines == len(rows)
+        assert result.end_time_ns > 0.0
+
+    def test_flush_extends_end_time_past_last_read(self):
+        mc = make()
+        rows = list(range(0, 320, 4))
+        writes = [True] * len(rows)
+        writes[0] = False  # one read so end-of-trace isn't trivially 0
+        result = mc.run_trace(trace_of(rows, gap=1.0, writes=writes), mlp=8)
+        # The flushed writes complete after the lone read finished.
+        assert result.end_time_ns == mc.end_time
+        assert mc.activity().write_lines == len(rows) - 1
+
+    def test_empty_trace_stays_zero(self):
+        result = make().run_trace([], mlp=4)
+        assert result.end_time_ns == 0.0
+
+
+class DelayTracker:
+    """Charges a fixed rate-control delay on every activation."""
+
+    name = "delay"
+    reset_divisor = 1
+
+    def __init__(self, delay_ns):
+        from repro.interfaces import TrackerResponse
+
+        self._response = TrackerResponse(delay_ns=delay_ns)
+
+    def on_activation(self, row_id):
+        return self._response
+
+    def on_window_reset(self):
+        pass
+
+    def sram_bytes(self):
+        return 0
+
+    def mitigation_count(self):
+        return 0
+
+    def extra_stats(self):
+        return {}
+
+
+class TestDelayPropagation:
+    def test_delay_lands_in_stats_and_completion(self):
+        rows = [i % 512 for i in range(100)]
+        plain = make()
+        plain.run_trace(trace_of(rows, gap=5.0), mlp=8)
+        delayed = QueuedMemoryController(
+            GEOMETRY, TIMING, DelayTracker(delay_ns=200.0)
+        )
+        result = delayed.run_trace(trace_of(rows, gap=5.0), mlp=8)
+        assert delayed.stats.total_delay_ns > 0
+        # Rate control must slow the run down, not be a silent no-op.
+        assert result.end_time_ns > plain.end_time
+
+    def test_delay_on_flushed_writes_counted(self):
+        rows = list(range(0, 160, 4))
+        mc = QueuedMemoryController(
+            GEOMETRY, TIMING, DelayTracker(delay_ns=50.0)
+        )
+        mc.run_trace(
+            trace_of(rows, gap=1.0, writes=[True] * len(rows)), mlp=8
+        )
+        assert mc.stats.flushed_writes > 0
+        assert mc.stats.total_delay_ns >= 50.0 * mc.stats.flushed_writes
+
+
 class TestTrackerIntegration:
     def test_hydra_mitigations_through_queued_path(self):
         config = HydraConfig(

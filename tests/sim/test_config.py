@@ -51,6 +51,7 @@ class TestVariations:
         a = SystemConfig()
         assert a.cache_key() != a.with_trh(250).cache_key()
         assert a.cache_key() != a.with_gct_entries(16384).cache_key()
+        assert a.cache_key() != a.with_engine("queued").cache_key()
         assert a.cache_key() == SystemConfig().cache_key()
 
     def test_rejects_bad_scale(self):
