@@ -1,0 +1,8 @@
+"""``python -m repro`` — same front-end as the ``hydra-sim`` script."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

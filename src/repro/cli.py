@@ -215,6 +215,35 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """cProfile one simulation cell — the workflow behind the hot-path
+    optimization pass (README "Performance"): profile, attack the top
+    ``tottime`` entries, re-check bit-identity, repeat."""
+    import cProfile
+    import pstats
+
+    from repro.sim.simulator import simulate, trace_for_workload
+
+    config = _config(args)
+    # Generate (and memoize) the trace first so the profile shows the
+    # per-activation pipeline, not numpy trace synthesis.
+    trace = trace_for_workload(config, args.workload)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = simulate(trace, config, args.tracker)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.limit)
+    print(
+        f"profiled {result.requests} requests "
+        f"({args.tracker}/{result.engine}, {result.workload})"
+    )
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"wrote {args.output} (open with snakeviz or pstats)")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -268,6 +297,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(exp)
     exp.add_argument("name", help="experiment id; use 'list' to enumerate")
     exp.set_defaults(func=_cmd_experiment)
+
+    profile = sub.add_parser(
+        "profile",
+        help="cProfile one simulation cell (the perf-pass workflow)",
+    )
+    _add_common(profile)
+    profile.add_argument(
+        "workload", nargs="?", default="GUPS", choices=all_names()
+    )
+    profile.add_argument("--tracker", default="hydra")
+    profile.add_argument(
+        "--sort",
+        default="tottime",
+        choices=("tottime", "cumtime", "ncalls"),
+        help="pstats sort column (default: tottime)",
+    )
+    profile.add_argument(
+        "--limit", type=int, default=25, help="rows to print (default 25)"
+    )
+    profile.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also dump raw pstats data here (for snakeviz etc.)",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     report = sub.add_parser(
         "report", help="render paper-vs-measured report from bench results"

@@ -14,11 +14,30 @@ which is what makes the filtering safe.
 
 from __future__ import annotations
 
+from array import array
+
+#: Largest counter value a compact array slot can hold ('Q' = uint64).
+_ARRAY_MAX = 2**64 - 1
+
 
 class GroupCountTable:
-    """Array of per-group saturating counters."""
+    """Array of per-group saturating counters.
 
-    __slots__ = ("entries", "threshold", "_group_shift", "_counts", "saturated_groups")
+    The counters live in a compact :mod:`array` of machine integers (8
+    bytes per entry instead of a CPython pointer + boxed int), with a
+    pre-built zero image so a window reset is a single buffer copy
+    rather than a fresh allocation. Update semantics are identical to
+    the reference list implementation (see ``tests/core/test_gct.py``).
+    """
+
+    __slots__ = (
+        "entries",
+        "threshold",
+        "_group_shift",
+        "_counts",
+        "_zeros",
+        "saturated_groups",
+    )
 
     def __init__(self, entries: int, threshold: int, group_size: int) -> None:
         if entries <= 0:
@@ -30,7 +49,14 @@ class GroupCountTable:
         self.entries = entries
         self.threshold = threshold
         self._group_shift = group_size.bit_length() - 1
-        self._counts = [0] * entries
+        if threshold <= _ARRAY_MAX:
+            self._counts = array("Q", bytes(8 * entries))
+            self._zeros = array("Q", bytes(8 * entries))
+        else:
+            # Counters beyond 64 bits (never a real hardware point, but
+            # the class stays general): plain Python ints.
+            self._counts = [0] * entries
+            self._zeros = [0] * entries
         #: Number of groups currently saturated at T_G (diagnostics).
         self.saturated_groups = 0
 
@@ -65,8 +91,13 @@ class GroupCountTable:
         return self._counts[row_id >> self._group_shift] >= self.threshold
 
     def reset(self) -> None:
-        """Window reset: zero every counter."""
-        self._counts = [0] * self.entries
+        """Window reset: zero-fill every counter in place.
+
+        Slice-assigning the pre-built zero image is one memcpy; it also
+        preserves the backing object's identity, so hot loops that
+        hoisted a reference stay valid across resets.
+        """
+        self._counts[:] = self._zeros
         self.saturated_groups = 0
 
     def sram_bytes(self) -> int:

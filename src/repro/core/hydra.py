@@ -100,6 +100,19 @@ class HydraTracker(ActivationTracker):
         )
         self._rit_act: Dict[int, int] = {}
         self.stats = HydraStats()
+        # Scalar copies for the per-activation path: the meta-row guard
+        # runs on every single activation, so it reads two ints off
+        # ``self`` instead of calling into the RCT. Likewise the GCT's
+        # counter array and shift are hoisted here so the ~90% common
+        # case is a direct array probe; ``GroupCountTable.reset`` keeps
+        # the backing array's identity, so the reference stays valid
+        # across window resets.
+        self._rows_per_bank = config.geometry.rows_per_bank
+        self._meta_base_local = self.rct.meta_base_local
+        self._gct_counts = self.gct._counts if self.gct is not None else None
+        self._gct_shift = (
+            self.gct._group_shift if self.gct is not None else 0
+        )
         if not config.enable_gct:
             self.name = "hydra-nogct"
         elif not config.enable_rcc:
@@ -110,31 +123,41 @@ class HydraTracker(ActivationTracker):
     # ------------------------------------------------------------------
 
     def on_activation(self, row_id: int) -> Optional[TrackerResponse]:
-        if self.rct.is_meta_row(row_id):
+        # Inlined self.rct.is_meta_row(row_id) — this guard runs on
+        # every activation.
+        if row_id % self._rows_per_bank >= self._meta_base_local:
             return self._count_meta_row_activation(row_id)
         # Footnote 4: with randomized mapping, all internal indexing
         # (GCT entry, RCC tag, RCT slot) uses the permuted id, while
         # mitigations still name the physical row in hand.
-        key = (
-            self._permutation.permute(row_id)
-            if self._permutation is not None
-            else row_id
-        )
-        if self.gct is not None:
-            state = self.gct.update(key)
-            if state < self.tg:
-                self.stats.gct_only += 1
-                return None
-            if state == self.tg:
+        permutation = self._permutation
+        key = permutation.permute(row_id) if permutation is not None else row_id
+        gct = self.gct
+        if gct is not None:
+            # ``gct.update(key)`` inlined: the below-T_G increment is
+            # the ~90% common case of the whole tracker, worth a direct
+            # array probe instead of a method call.
+            counts = self._gct_counts
+            group = key >> self._gct_shift
+            value = counts[group]
+            tg = self.tg
+            if value < tg:
+                value += 1
+                counts[group] = value
+                if value < tg:
+                    self.stats.gct_only += 1
+                    return None
                 # This update saturated the group: switch it to
                 # per-row tracking by initializing its RCT entries.
-                self.stats.gct_only += 1
-                self.stats.group_inits += 1
+                gct.saturated_groups += 1
+                stats = self.stats
+                stats.gct_only += 1
+                stats.group_inits += 1
                 first_row = key & self._group_mask
-                meta = self.rct.init_group(first_row, self._group_size, self.tg)
+                meta = self.rct.init_group(first_row, self._group_size, tg)
                 self._account_meta(meta)
                 return TrackerResponse(meta_accesses=tuple(meta))
-            # state == threshold + 1: group saturated earlier.
+            # value >= T_G: group saturated on an earlier update.
         return self._per_row_update(key, row_id)
 
     def on_window_reset(self) -> None:
@@ -191,17 +214,18 @@ class HydraTracker(ActivationTracker):
         """Per-row tracking: ``key`` indexes the structures,
         ``physical_row`` is what a mitigation must refresh around
         (they differ only under randomized mapping)."""
-        if self.rcc is None:
+        rcc = self.rcc
+        if rcc is None:
             return self._rct_read_modify_write(key, physical_row)
-        count = self.rcc.lookup(key)
+        # Fused lookup + increment: one dict probe on the ~9% hit path
+        # (equivalent to lookup(); write(count + 1) — see RowCountCache).
+        count = rcc.increment_if_present(key)
         if count is not None:
             self.stats.rcc_hits += 1
-            count += 1
             if count >= self.th:
-                self.rcc.write(key, 0)
+                rcc.write(key, 0)
                 self.stats.mitigations += 1
                 return TrackerResponse(mitigate_rows=(physical_row,))
-            self.rcc.write(key, count)
             return None
         # RCC miss: fetch the counter line from the RCT in DRAM.
         self.stats.rct_accesses += 1

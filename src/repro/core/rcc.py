@@ -64,6 +64,27 @@ class RowCountCache:
             raise KeyError(f"row {row_id} not resident in RCC")
         entry[0] = count
 
+    def increment_if_present(self, row_id: int) -> Optional[int]:
+        """Fused ``lookup`` + ``write(count + 1)``: one dict probe.
+
+        The ~9% RCC-hit path of Hydra increments a resident counter;
+        doing it through ``lookup`` then ``write`` probes the set dict
+        twice. This entry point probes once and is otherwise equivalent
+        (hit/miss accounting and SRRIP promotion included). Returns the
+        incremented count, or ``None`` on a miss — in which case
+        nothing was modified except the miss counter, exactly like
+        ``lookup``.
+        """
+        entry = self._data[row_id % self.sets].get(row_id)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        entry[1] = _RRPV_HIT
+        count = entry[0] + 1
+        entry[0] = count
+        return count
+
     def install(self, row_id: int, count: int) -> Optional[Tuple[int, int]]:
         """Insert a row's counter, possibly evicting a victim.
 

@@ -97,10 +97,13 @@ class RowCountTable:
         ]
 
     def reset_all(self) -> None:
-        """Zero every counter.
+        """Zero every counter, in place.
 
         Plain Hydra never needs this (stale counts are overwritten by
         group initialization, §4.6); the Hydra-NoGCT ablation uses it
-        at window boundaries, standing in for entry versioning.
+        at window boundaries, standing in for entry versioning. The
+        zero-fill reuses the existing list (slice assignment) instead
+        of rebinding a fresh allocation, so references hoisted by hot
+        loops survive a reset.
         """
-        self._counts = [0] * len(self._counts)
+        self._counts[:] = [0] * len(self._counts)

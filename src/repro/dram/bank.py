@@ -14,7 +14,7 @@ bus pressure from extra metadata line transfers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import NamedTuple, Optional
 
 from repro.dram.timing import DramTiming
 
@@ -115,6 +115,33 @@ class RankActWindow:
         if len(self._recent) > self.WINDOW_ACTS:
             del self._recent[: -self.WINDOW_ACTS]
 
+    def reserve(self, at: float) -> float:
+        """``constrain`` + ``record`` fused into one call (hot path).
+
+        Every ACT performs both; fusing them saves a method call per
+        activation while keeping results identical to calling the two
+        primitives in sequence.
+        """
+        t_rrd = self.t_rrd
+        t_faw = self.t_faw
+        recent = self._recent
+        window_acts = self.WINDOW_ACTS
+        if t_rrd > 0:
+            earliest = self._last_act + t_rrd
+            if earliest > at:
+                at = earliest
+        if t_faw > 0 and len(recent) >= window_acts:
+            earliest = recent[-window_acts] + t_faw
+            if earliest > at:
+                at = earliest
+        if t_rrd > 0 and at > self._last_act:
+            self._last_act = at
+        if t_faw > 0:
+            recent.append(at)
+            if len(recent) > window_acts:
+                del recent[:-window_acts]
+        return at
+
 
 class ChannelBus:
     """Shared data bus of one channel: serializes 64 B burst transfers."""
@@ -156,9 +183,12 @@ def average_bus_utilization(buses, elapsed: float) -> float:
     return sum(bus.utilization(elapsed) for bus in buses) / len(buses)
 
 
-@dataclass
-class AccessResult:
-    """Timing outcome of one row-level access."""
+class AccessResult(NamedTuple):
+    """Timing outcome of one row-level access.
+
+    A NamedTuple rather than a dataclass: one is allocated per
+    simulated request, and tuple construction is measurably cheaper.
+    """
 
     #: When the access's data transfer completed (request is done).
     completion: float
@@ -186,6 +216,16 @@ class Bank:
         #: Time at which the currently open row becomes column-accessible.
         self._row_ready_at: float = 0.0
         self.stats = DramActivityStats()
+        # Scalar copies of every timing the per-request path touches,
+        # so ``access`` reads plain instance floats instead of chasing
+        # through the timing/refresh objects on each of the millions of
+        # calls a sweep makes.
+        self._t_rc = timing.t_rc
+        self._t_rp = timing.t_rp
+        self._t_rcd = timing.t_rcd
+        self._t_cas = timing.t_cas
+        self._t_refi = timing.t_refi
+        self._t_rfc = timing.t_rfc
 
     def access(
         self,
@@ -198,43 +238,63 @@ class Bank:
         """Perform an access of ``n_lines`` 64 B lines within ``row``.
 
         Returns timing info; updates bank state and activity stats.
+        The body inlines :meth:`RefreshTimeline.adjust` and
+        :meth:`ChannelBus.transfer` (same module, identical
+        arithmetic): this is the innermost per-request function of the
+        whole simulator.
         """
         if n_lines < 1:
             raise ValueError("n_lines must be >= 1")
-        t = self._refresh.adjust(at)
-        timing = self._timing
+        stats = self.stats
+        t_refi = self._t_refi
+        t_rfc = self._t_rfc
+        # Inlined self._refresh.adjust(at).
+        if at < 0:
+            at = 0.0
+        offset = at % t_refi
+        t = at + (t_rfc - offset) if offset < t_rfc else at
         if self.open_row == row:
-            self.stats.row_buffer_hits += 1
-            col_start = max(t, self._row_ready_at)
+            stats.row_buffer_hits += 1
+            row_ready = self._row_ready_at
+            col_start = t if t >= row_ready else row_ready
             activated = False
-            act_time = self._next_act_at - timing.t_rc
+            act_time = self._next_act_at - self._t_rc
         else:
-            self.stats.row_buffer_misses += 1
-            act_at = max(t, self._next_act_at)
+            stats.row_buffer_misses += 1
+            next_act = self._next_act_at
+            act_at = t if t >= next_act else next_act
             if self.open_row is not None:
                 # Close the old row first (PRE), then activate.
-                act_at = max(act_at, self._row_ready_at) + timing.t_rp
-                self.stats.precharges += 1
-            act_at = self._refresh.adjust(act_at)
+                row_ready = self._row_ready_at
+                if row_ready > act_at:
+                    act_at = row_ready
+                act_at += self._t_rp
+                stats.precharges += 1
+            # Inlined self._refresh.adjust(act_at) (act_at >= 0 here).
+            offset = act_at % t_refi
+            if offset < t_rfc:
+                act_at += t_rfc - offset
             if self._act_window is not None:
-                act_at = self._act_window.constrain(act_at)
-                self._act_window.record(act_at)
+                act_at = self._act_window.reserve(act_at)
             self.open_row = row
-            self._next_act_at = act_at + timing.t_rc
-            self._row_ready_at = act_at + timing.t_rcd
-            self.stats.activations += 1
-            col_start = self._row_ready_at
+            self._next_act_at = act_at + self._t_rc
+            col_start = self._row_ready_at = act_at + self._t_rcd
+            stats.activations += 1
             activated = True
             act_time = act_at
-        first_data = col_start + timing.t_cas
-        completion = bus.transfer(first_data, n_lines)
+        first_data = col_start + self._t_cas
+        # Inlined bus.transfer(first_data, n_lines) (n_lines >= 1).
+        free_at = bus.free_at
+        start = first_data if first_data >= free_at else free_at
+        duration = n_lines * bus._t_burst
+        completion = start + duration
+        bus.free_at = completion
+        bus.busy_time += duration
         if is_write:
-            self.stats.write_lines += n_lines
+            stats.write_lines += n_lines
         else:
-            self.stats.read_lines += n_lines
-        return AccessResult(
-            completion=completion, activated=activated, act_time=act_time
-        )
+            stats.read_lines += n_lines
+        return AccessResult(completion, activated, act_time)
 
     def refresh_row(self, at: float) -> float:
         """Victim-refresh one row: an ACT/PRE cycle with no data burst.

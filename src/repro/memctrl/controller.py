@@ -71,8 +71,151 @@ class MemoryController(BaseMemoryController):
     # ------------------------------------------------------------------
 
     def run_trace(self, trace, mlp: int = 16) -> EngineRunOutcome:
-        """Replay a trace through the limited-MLP in-order window."""
+        """Replay a trace through the limited-MLP in-order window.
+
+        :class:`~repro.workloads.trace.Trace` objects take the
+        pre-resolved fast loop (bank/channel indices vectorized once in
+        numpy, the per-request ``access`` body inlined); any other
+        iterable of ``(gap_ns, row_id, n_lines, is_write)`` tuples
+        falls back to the generic :func:`drive_in_order` path. Both
+        produce bit-identical results — the fast loop performs the
+        exact same arithmetic in the exact same order.
+        """
+        resolved = getattr(trace, "resolved_stream", None)
+        if resolved is not None:
+            stream = resolved(self._rows_per_bank, self._banks_per_channel)
+            return self._run_resolved_stream(stream, mlp)
         return drive_in_order(trace, self.access, mlp)
+
+    def _run_resolved_stream(self, stream, mlp: int) -> EngineRunOutcome:
+        """The hot loop: ``drive_in_order`` + ``access`` fused.
+
+        Everything the per-request path touches is hoisted into locals;
+        per-request stats increments are batched into local counters
+        and flushed once after the loop (pure integer sums, and the
+        float ``total_delay_ns`` accumulates in the same order it would
+        through the instance attribute, so results stay bit-identical).
+        """
+        if mlp <= 0:
+            raise ValueError("mlp must be positive")
+        banks = self.banks
+        buses = self.buses
+        stats = self.stats
+        window_sched = self._window
+        advance_window = self._advance_window
+        # The feedback fast path (tracker answers None, no follow-up
+        # work) is inlined below; only a live response enters the
+        # worklist machinery. ``self.tracker`` is never rebound, so the
+        # bound method stays valid across window resets.
+        on_activation = self.tracker.on_activation
+        followups = self._feedback.drive_followups
+        # Timing scalars are shared by every bank and bus (all built
+        # from the same DramTiming), so they hoist out of the loop;
+        # per-bank/per-bus *state* is re-read from the objects each
+        # iteration because feedback work (victim refreshes, metadata
+        # accesses) mutates it through the normal methods mid-loop.
+        timing = self.timing
+        t_refi = timing.t_refi
+        t_rfc = timing.t_rfc
+        t_rc = timing.t_rc
+        t_rp = timing.t_rp
+        t_rcd = timing.t_rcd
+        t_cas = timing.t_cas
+        t_burst = timing.t_burst
+        next_reset = window_sched.next_reset
+        window = [0.0] * mlp
+        issue = 0.0
+        total_latency = 0.0
+        count = 0
+        end_time = self.end_time
+        total_delay_ns = stats.total_delay_ns
+        demand_accesses = 0
+        demand_line_transfers = 0
+        tracker_activations = 0
+        for gap_ns, row_id, local_row, bank_index, channel, n_lines, is_write in stream:
+            earliest = issue + gap_ns
+            slot = count % mlp
+            start = window[slot]
+            if start < earliest:
+                start = earliest
+            issue = start
+            # -- access(start, row_id, n_lines, is_write), inlined --
+            if start >= next_reset:
+                advance_window(start)
+                next_reset = window_sched.next_reset
+            # -- bank.access(start, local_row, n_lines, bus, is_write),
+            #    inlined (see Bank.access for the annotated original) --
+            bank = banks[bank_index]
+            bstats = bank.stats
+            at = start if start >= 0 else 0.0
+            offset = at % t_refi
+            t = at + (t_rfc - offset) if offset < t_rfc else at
+            if bank.open_row == local_row:
+                bstats.row_buffer_hits += 1
+                row_ready = bank._row_ready_at
+                col_start = t if t >= row_ready else row_ready
+                activated = False
+                act_at = 0.0
+            else:
+                bstats.row_buffer_misses += 1
+                next_act = bank._next_act_at
+                act_at = t if t >= next_act else next_act
+                if bank.open_row is not None:
+                    row_ready = bank._row_ready_at
+                    if row_ready > act_at:
+                        act_at = row_ready
+                    act_at += t_rp
+                    bstats.precharges += 1
+                offset = act_at % t_refi
+                if offset < t_rfc:
+                    act_at += t_rfc - offset
+                act_window = bank._act_window
+                if act_window is not None:
+                    act_at = act_window.reserve(act_at)
+                bank.open_row = local_row
+                bank._next_act_at = act_at + t_rc
+                col_start = bank._row_ready_at = act_at + t_rcd
+                bstats.activations += 1
+                activated = True
+            first_data = col_start + t_cas
+            bus = buses[channel]
+            free_at = bus.free_at
+            xfer_start = first_data if first_data >= free_at else free_at
+            duration = n_lines * t_burst
+            completion = xfer_start + duration
+            bus.free_at = completion
+            bus.busy_time += duration
+            if is_write:
+                bstats.write_lines += n_lines
+            else:
+                bstats.read_lines += n_lines
+            # -- end of the inlined bank access --
+            demand_accesses += 1
+            demand_line_transfers += n_lines
+            if activated:
+                # -- _feedback.drive(row_id, act_at, self), inlined --
+                tracker_activations += 1
+                response = on_activation(row_id)
+                if response is not None:
+                    delay = followups(response, act_at, self)
+                    if delay:
+                        completion += delay
+                        total_delay_ns += delay
+            if completion > end_time:
+                end_time = completion
+            # -- back in the drive_in_order window bookkeeping --
+            window[slot] = completion
+            total_latency += completion - start
+            count += 1
+        stats.demand_accesses += demand_accesses
+        stats.demand_line_transfers += demand_line_transfers
+        stats.tracker_activations += tracker_activations
+        stats.total_delay_ns = total_delay_ns
+        self.end_time = end_time
+        end = max(window) if count else 0.0
+        return EngineRunOutcome(
+            end_time_ns=end, requests=count, total_latency_ns=total_latency
+        )
 
     # ------------------------------------------------------------------
     # Demand path
@@ -82,7 +225,7 @@ class MemoryController(BaseMemoryController):
         self, at: float, row_id: int, n_lines: int = 1, is_write: bool = False
     ) -> float:
         """One demand access of ``n_lines`` lines; returns completion time."""
-        if self._window.due(at):
+        if at >= self._window.next_reset:  # scalar form of _window.due(at)
             self._advance_window(at)
         bank_index = row_id // self._rows_per_bank
         bank = self.banks[bank_index]

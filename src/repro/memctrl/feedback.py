@@ -18,8 +18,6 @@ behaviour once:
 
 from __future__ import annotations
 
-from collections import deque
-
 from repro.dram.timing import DramTiming
 from repro.interfaces import ActivationTracker, MetaAccess
 from repro.memctrl.mitigation import VictimRefreshPolicy
@@ -87,25 +85,58 @@ class TrackerFeedback:
 
         Returns the total activation delay (ns) the tracker requested
         (rate-control mitigations such as D-CBF's).
+
+        The overwhelmingly common case — the tracker answers ``None``
+        — is handled without building a worklist at all; the slow path
+        walks the same breadth-first order the original deque-based
+        loop produced (a list with a read cursor, appended in the same
+        sequence, is FIFO too).
         """
-        delay = 0.0
-        pending = deque(((row_id, 0),))
-        while pending:
-            row, depth = pending.popleft()
-            handler.on_tracker_activation(row)
-            response = self.tracker.on_activation(row)
-            if response is None:
-                continue
-            delay += response.delay_ns
-            requeue = depth < self.max_depth
+        handler.on_tracker_activation(row_id)
+        response = self.tracker.on_activation(row_id)
+        if response is None:
+            return 0.0
+        return self.drive_followups(response, at, handler)
+
+    def drive_followups(
+        self, response, at: float, handler: FeedbackHandler
+    ) -> float:
+        """Slow path: run the feedback worklist for a live response.
+
+        ``response`` belongs to the depth-0 activation ``drive``
+        already reported. The loop performs its requested work, then
+        scans the worklist for the next activation that produces a
+        response — the exact handler-call order of the original
+        deque-based BFS (a cursor-indexed list is FIFO too, without
+        the per-activation deque allocation).
+        """
+        tracker = self.tracker
+        victims_of = self.policy.victims_of
+        max_depth = self.max_depth
+        delay = 0.0 + response.delay_ns
+        pending = []  # (row, depth) worklist, consumed via cursor
+        cursor = 0
+        depth = 0
+        while True:
+            requeue = depth < max_depth
             for meta in response.meta_accesses:
                 if handler.perform_meta_access(meta, at) and requeue:
                     pending.append((meta.row_id, depth + 1))
             for aggressor in response.mitigate_rows:
-                for victim in self.policy.victims_of(aggressor):
+                for victim in victims_of(aggressor):
                     if handler.perform_victim_refresh(victim, at) and requeue:
                         pending.append((victim, depth + 1))
-        return delay
+            response = None
+            while cursor < len(pending):
+                row, depth = pending[cursor]
+                cursor += 1
+                handler.on_tracker_activation(row)
+                response = tracker.on_activation(row)
+                if response is not None:
+                    delay += response.delay_ns
+                    break
+            if response is None:
+                return delay
 
 
 class WindowResetSchedule:

@@ -140,7 +140,8 @@ class QueuedMemoryController(BaseMemoryController):
                 earliest = issue + gap_ns
                 start = window[slot] if window[slot] > earliest else earliest
                 issue = start
-                if self._window.due(start):
+                # Scalar form of self._window.due(start).
+                if start >= self._window.next_reset:
                     self._advance_window(start)
                 self.stats.demand_accesses += 1
                 self.stats.demand_line_transfers += n_lines

@@ -29,6 +29,7 @@ sweeps for free.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.dram.power import DramPowerModel
@@ -47,8 +48,15 @@ TrackerFactory = Callable[[SystemConfig], ActivationTracker]
 #: Traces are deterministic functions of both, so sharing across
 #: simulations — including across the tasks a pool worker executes,
 #: and across engines — is safe and saves regenerating a trace for
-#: every tracker column.
-_TRACE_MEMO: Dict[Tuple[str, str], Trace] = {}
+#: every tracker column. The memo is a bounded LRU: the cap keeps a
+#: full 36-workload single-config sweep entirely resident (so pool
+#: workers hit exactly as before), while a long multi-config sweep in
+#: one process evicts least-recently-replayed traces instead of
+#: growing without limit.
+_TRACE_MEMO: "OrderedDict[Tuple[str, str], Trace]" = OrderedDict()
+
+#: Maximum traces kept per process (> the 36-workload suite).
+_TRACE_MEMO_MAX = 64
 
 
 def trace_for_workload(config: SystemConfig, workload_name: str) -> Trace:
@@ -59,6 +67,10 @@ def trace_for_workload(config: SystemConfig, workload_name: str) -> Trace:
         generator = SyntheticWorkloadGenerator(config.generator_config())
         trace = generator.generate(workload(workload_name))
         _TRACE_MEMO[memo_key] = trace
+        if len(_TRACE_MEMO) > _TRACE_MEMO_MAX:
+            _TRACE_MEMO.popitem(last=False)
+    else:
+        _TRACE_MEMO.move_to_end(memo_key)
     return trace
 
 

@@ -14,7 +14,7 @@ paper's workload descriptions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Sequence, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,7 +33,7 @@ class TraceStatistics:
 class Trace:
     """Immutable sequence of (gap_ns, row_id, n_lines, is_write)."""
 
-    __slots__ = ("gaps_ns", "rows", "lines", "writes", "name")
+    __slots__ = ("gaps_ns", "rows", "lines", "writes", "name", "_columns", "_resolved")
 
     def __init__(
         self,
@@ -51,18 +51,64 @@ class Trace:
         self.lines = np.asarray(lines, dtype=np.int32)
         self.writes = np.asarray(writes, dtype=bool)
         self.name = name
+        #: Lazily materialized Python-scalar columns. Traces are
+        #: immutable by contract, and memoized traces are replayed many
+        #: times (once per tracker column of a sweep grid), so the
+        #: ``tolist`` conversions are paid once, not per replay.
+        self._columns: Optional[Tuple[list, list, list, list]] = None
+        #: Lazily resolved per-request topology columns, keyed by
+        #: ``(rows_per_bank, banks_per_channel)`` (one geometry per
+        #: simulated system, but attack mixes reuse traces across
+        #: scaled geometries).
+        self._resolved: Dict[Tuple[int, int], tuple] = {}
 
     def __len__(self) -> int:
         return len(self.rows)
 
+    def _column_lists(self) -> Tuple[list, list, list, list]:
+        columns = self._columns
+        if columns is None:
+            columns = (
+                self.gaps_ns.tolist(),
+                self.rows.tolist(),
+                self.lines.tolist(),
+                self.writes.tolist(),
+            )
+            self._columns = columns
+        return columns
+
     def __iter__(self) -> Iterator[Tuple[float, int, int, bool]]:
         """Iterate as plain Python tuples (fast path for the core loop)."""
-        return zip(
-            self.gaps_ns.tolist(),
-            self.rows.tolist(),
-            self.lines.tolist(),
-            self.writes.tolist(),
-        )
+        return zip(*self._column_lists())
+
+    def resolved_stream(
+        self, rows_per_bank: int, banks_per_channel: int
+    ) -> Iterator[Tuple[float, int, int, int, int, int, bool]]:
+        """Iterate with bank/channel topology pre-resolved per request.
+
+        Yields ``(gap_ns, row_id, local_row, bank_index, channel,
+        n_lines, is_write)``. The integer divisions a controller would
+        otherwise re-derive per request (``row // rows_per_bank`` etc.)
+        are computed vectorized in numpy, once per (trace, geometry)
+        pair, and cached. Values are bit-identical to the per-request
+        scalar arithmetic: row ids are non-negative, so numpy int64
+        floor division and modulo match Python's exactly.
+        """
+        if rows_per_bank <= 0 or banks_per_channel <= 0:
+            raise ValueError("topology divisors must be positive")
+        key = (rows_per_bank, banks_per_channel)
+        resolved = self._resolved.get(key)
+        if resolved is None:
+            bank_index = self.rows // rows_per_bank
+            resolved = (
+                (self.rows % rows_per_bank).tolist(),
+                bank_index.tolist(),
+                (bank_index // banks_per_channel).tolist(),
+            )
+            self._resolved[key] = resolved
+        gaps, rows, lines, writes = self._column_lists()
+        local_rows, bank_indices, channels = resolved
+        return zip(gaps, rows, local_rows, bank_indices, channels, lines, writes)
 
     @property
     def total_lines(self) -> int:

@@ -141,3 +141,99 @@ class TestLemma1Property:
                 assert gct.is_saturated(row)
             if not gct.is_saturated(row):
                 assert gct.value(row) >= count
+
+
+class _ReferenceGct:
+    """The original list-of-ints GCT, kept as a differential oracle.
+
+    The shipping class stores counters in a compact ``array('Q')``
+    with a memcpy reset; this reference reproduces the pre-array
+    semantics with plain Python lists so the hypothesis test below can
+    assert the backends are indistinguishable update-for-update.
+    """
+
+    def __init__(self, entries, threshold, group_size):
+        self.threshold = threshold
+        self._shift = group_size.bit_length() - 1
+        self._counts = [0] * entries
+        self.saturated_groups = 0
+
+    def update(self, row_id):
+        group = row_id >> self._shift
+        value = self._counts[group]
+        if value >= self.threshold:
+            return self.threshold + 1
+        value += 1
+        self._counts[group] = value
+        if value == self.threshold:
+            self.saturated_groups += 1
+        return value
+
+    def value(self, row_id):
+        return self._counts[row_id >> self._shift]
+
+    def is_saturated(self, row_id):
+        return self._counts[row_id >> self._shift] >= self.threshold
+
+    def reset(self):
+        self._counts = [0] * len(self._counts)
+        self.saturated_groups = 0
+
+
+class TestArrayBackend:
+    """The array('Q') backing must be invisible to callers."""
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.integers(min_value=0, max_value=127),  # update(row)
+                st.just("reset"),
+            ),
+            max_size=400,
+        ),
+        st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=60)
+    def test_matches_reference_list_semantics(self, ops, threshold):
+        gct = GroupCountTable(entries=8, threshold=threshold, group_size=16)
+        ref = _ReferenceGct(entries=8, threshold=threshold, group_size=16)
+        for op in ops:
+            if op == "reset":
+                gct.reset()
+                ref.reset()
+            else:
+                assert gct.update(op) == ref.update(op)
+            assert gct.saturated_groups == ref.saturated_groups
+        for row in range(128):
+            assert gct.value(row) == ref.value(row)
+            assert gct.is_saturated(row) == ref.is_saturated(row)
+
+    def test_reset_preserves_backing_identity(self):
+        """Hot loops hoist a reference to the counter array; a window
+        reset must zero it in place, not rebind a fresh buffer."""
+        gct = make_gct(threshold=3)
+        backing = gct._counts
+        for _ in range(3):
+            gct.update(0)
+        gct.reset()
+        assert gct._counts is backing
+        assert gct.value(0) == 0
+        assert gct.saturated_groups == 0
+
+    def test_huge_threshold_falls_back_to_list(self):
+        """Thresholds beyond uint64 use plain Python ints (general
+        correctness; never a hardware-relevant point)."""
+        big = 2**64
+        gct = GroupCountTable(entries=4, threshold=big, group_size=16)
+        assert isinstance(gct._counts, list)
+        assert gct.update(0) == 1
+        gct.reset()
+        assert gct.value(0) == 0
+
+    def test_saturating_update_resumes_after_reset(self):
+        gct = make_gct(threshold=2)
+        assert gct.update(0) == 1
+        assert gct.update(0) == 2  # saturates
+        assert gct.update(0) == 3  # sentinel
+        gct.reset()
+        assert gct.update(0) == 1  # counts again from zero

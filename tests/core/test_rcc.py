@@ -171,3 +171,80 @@ class TestCapacityInvariant:
             assert rcc.occupancy() <= rcc.entries
             for set_index in range(rcc.sets):
                 assert len(rcc._data[set_index]) <= rcc.ways
+
+
+class TestIncrementIfPresent:
+    """The fused hit path must be indistinguishable from lookup+write."""
+
+    def test_hit_increments_and_returns_new_count(self):
+        rcc = RowCountCache(entries=16, ways=4)
+        rcc.install(5, 7)
+        assert rcc.increment_if_present(5) == 8
+        assert rcc.lookup(5) == 8
+
+    def test_miss_counts_and_modifies_nothing(self):
+        rcc = RowCountCache(entries=16, ways=4)
+        assert rcc.increment_if_present(3) is None
+        assert rcc.misses == 1
+        assert rcc.hits == 0
+        assert rcc.occupancy() == 0
+
+    def test_hit_promotes_srrip_like_lookup(self):
+        """A fused hit must leave the entry at RRPV 0 (near-immediate
+        re-reference), exactly as a plain lookup would — otherwise the
+        replacement order diverges from the unfused code."""
+        rcc = RowCountCache(entries=4, ways=4)
+        for row in range(4):
+            rcc.install(row, 0)
+        rcc.increment_if_present(0)  # promote row 0
+        # Fill pressure: the promoted row must survive the eviction
+        # that installing a fifth row forces.
+        rcc.install(4, 0)
+        assert rcc.contains(0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=40),
+                st.booleans(),  # True -> fused, False -> lookup+write
+            ),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=60)
+    def test_equivalent_to_lookup_then_write(self, operations):
+        """Differential: two caches fed the same rows, one through the
+        fused entry point and one through lookup()+write(count+1),
+        must agree on contents, SRRIP state, and hit/miss/eviction
+        accounting at every step."""
+        fused = RowCountCache(entries=16, ways=4)
+        plain = RowCountCache(entries=16, ways=4)
+        for row, use_fused in operations:
+            if use_fused:
+                got = fused.increment_if_present(row)
+            else:
+                count = fused.lookup(row)
+                if count is None:
+                    got = None
+                else:
+                    fused.write(row, count + 1)
+                    got = count + 1
+            count = plain.lookup(row)
+            if count is None:
+                expected = None
+            else:
+                plain.write(row, count + 1)
+                expected = count + 1
+            if got is None:
+                # Both missed: install so later ops exercise hits too.
+                assert expected is None
+                fused.install(row, 0)
+                plain.install(row, 0)
+            else:
+                assert got == expected
+            assert fused._data == plain._data
+            assert (fused.hits, fused.misses, fused.evictions) == (
+                plain.hits,
+                plain.misses,
+                plain.evictions,
+            )
