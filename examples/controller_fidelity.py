@@ -23,11 +23,7 @@ Run:  python examples/controller_fidelity.py [tracker] [workload ...]
 
 import sys
 
-from repro.sim import (
-    ExperimentRunner,
-    SystemConfig,
-    suite_slowdowns,
-)
+from repro.sim import ExperimentRunner, SystemConfig
 from repro.workloads import all_names
 
 
@@ -43,7 +39,7 @@ def fidelity_report(tracker="hydra", workloads=None, scale=1 / 64):
         slowdowns[engine] = {
             c.workload: c.slowdown_percent for c in comparisons
         }
-        suites[engine] = suite_slowdowns(comparisons)
+        suites[engine] = comparisons.slowdowns()
     return slowdowns, suites
 
 

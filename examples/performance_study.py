@@ -38,7 +38,7 @@ def main() -> None:
     print(f"{'workload':<12} {'GCT-only':>9} {'RCC-hit':>9} {'RCT(DRAM)':>10}")
     for workload in WORKLOADS:
         result = runner.run("hydra", workload)
-        dist = result.extra["distribution"]
+        dist = result.hydra_distribution
         print(
             f"{workload:<12} {100 * dist['gct_only']:>8.1f}% "
             f"{100 * dist['rcc_hit']:>8.1f}% "

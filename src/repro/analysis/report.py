@@ -144,3 +144,53 @@ def write_report(
     if output_path is not None:
         output_path.write_text(text)
     return text
+
+
+def render_manifest(manifest_path: Path) -> str:
+    """Markdown summary of a sweep manifest (``report --manifest``).
+
+    A manifest is the provenance log sweeps append to (see
+    :mod:`repro.obs.manifest`): one JSON line per grid cell. The
+    summary answers "what ran, on which engine, at what cost" without
+    the reader parsing JSON lines by hand.
+    """
+    from repro.obs.manifest import read_manifest, summarize_manifest
+
+    records, skipped = read_manifest(manifest_path)
+    summary = summarize_manifest(records)
+    lines: List[str] = [
+        f"# Sweep manifest — {manifest_path}",
+        "",
+        f"- cells: {summary['cells']}"
+        f" ({summary['cache_hits']} cache hits,"
+        f" {summary['simulated']} simulated)",
+        f"- simulated wall time: {summary['simulated_wall_s']:.2f} s",
+        f"- simulated requests: {summary['simulated_requests']}",
+        f"- simulation throughput: "
+        f"{summary['requests_per_second']:,.0f} req/s",
+    ]
+    if skipped:
+        lines.append(f"- skipped lines (corrupt/unreadable): {skipped}")
+    lines.extend(["", "| engine | cells |", "|---|---|"])
+    for engine, count in sorted(summary["by_engine"].items()):
+        lines.append(f"| {engine} | {count} |")
+    lines.extend(["", "| spec | cells |", "|---|---|"])
+    for spec, count in sorted(summary["by_spec"].items()):
+        lines.append(f"| {spec} | {count} |")
+    slowest = sorted(
+        (r for r in records if not r.from_cache),
+        key=lambda r: r.wall_time_s,
+        reverse=True,
+    )[:5]
+    if slowest:
+        lines.extend(
+            ["", "## Slowest simulated cells", "",
+             "| spec | workload | engine | wall (s) | req/s |", "|---|---|---|---|---|"]
+        )
+        for record in slowest:
+            lines.append(
+                f"| {record.spec} | {record.workload} | {record.engine} |"
+                f" {record.wall_time_s:.2f} | {record.throughput_rps:,.0f} |"
+            )
+    lines.append("")
+    return "\n".join(lines)

@@ -19,6 +19,11 @@ string is accepted too: ``hydra@trh=1000,rcc_kb=28``,
 ``run``/``sweep``/``experiment`` (default: the fast in-order model);
 ``engine=`` inside a spec string overrides it per tracker column
 (``--tracker hydra@engine=queued``).
+
+Observability (see ``repro.obs``): ``run --observe`` records a
+per-window metric series during the simulation and prints it;
+``sweep --manifest FILE`` appends a JSON-lines provenance record per
+grid cell; ``report --manifest FILE`` summarizes such a manifest.
 """
 
 from __future__ import annotations
@@ -30,7 +35,7 @@ from typing import List, Optional
 from repro.core import HydraConfig, HydraTracker, hydra_storage
 from repro.analysis.security import verify_tracker
 from repro.memctrl import ENGINES
-from repro.sim import ExperimentRunner, SystemConfig, suite_geomeans
+from repro.sim import ExperimentRunner, SystemConfig
 from repro.trackers.storage import storage_table, total_sram_table
 from repro.workloads import all_names, attacks
 
@@ -80,12 +85,78 @@ def _config(args: argparse.Namespace) -> SystemConfig:
 
 
 def _runner(args: argparse.Namespace) -> ExperimentRunner:
-    return ExperimentRunner(_config(args), jobs=args.jobs)
+    return ExperimentRunner(
+        _config(args),
+        jobs=args.jobs,
+        manifest_path=getattr(args, "manifest", None),
+    )
+
+
+#: Per-window series columns worth a terminal column, in print order
+#: (only the ones the run's tracker actually reported are shown).
+_SERIES_COLUMNS = (
+    ("hydra_gct_only", "gct_only"),
+    ("hydra_rcc_hits", "rcc_hit"),
+    ("hydra_rct_accesses", "rct_acc"),
+    ("hydra_group_inits", "grp_init"),
+    ("cra_cache_misses", "c$miss"),
+    ("tracker_mitigations", "mitig"),
+    ("mc_meta_accesses", "meta"),
+    ("mc_victim_refreshes", "refresh"),
+)
+
+
+def _print_observability(result, series_out: Optional[str]) -> None:
+    """Render an observed run's per-window series (and regenerated
+    Figure 6 distribution, when the tracker reports Hydra counters)."""
+    obs = result.observability
+    series = obs.series
+    totals = series.totals()
+    columns = [
+        (key, label) for key, label in _SERIES_COLUMNS if key in totals
+    ]
+    print(
+        f"\nper-window series ({series.period_ns / 1e6:.3f} ms windows,"
+        f" {len(series)} windows):"
+    )
+    header = f"{'win':>4} {'start_ms':>9}" + "".join(
+        f" {label:>9}" for _, label in columns
+    )
+    print(header)
+    for sample in series:
+        row = f"{sample.index:>4} {sample.start_ns / 1e6:>9.3f}"
+        for key, _ in columns:
+            row += f" {sample.get(key):>9.0f}"
+        print(row)
+    if "hydra_gct_only" in totals:
+        regenerated = series.hydra_distribution()
+        print(
+            "fig6 distribution (regenerated from series): "
+            + ", ".join(
+                f"{k}={100 * v:.2f}%" for k, v in regenerated.items()
+            )
+        )
+    if series_out:
+        import json
+        from pathlib import Path
+
+        Path(series_out).write_text(
+            json.dumps(obs.to_dict(), indent=2, sort_keys=True)
+        )
+        print(f"wrote {series_out}")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     runner = _runner(args)
-    result = runner.run(args.tracker, args.workload)
+    if args.observe:
+        # Observability lives on the live RunResult only (never in the
+        # cache), so an observed run always simulates.
+        from repro.sim import simulate
+
+        trace = runner.trace_for(args.workload)
+        result = simulate(trace, runner.config, args.tracker, observe=True)
+    else:
+        result = runner.run(args.tracker, args.workload)
     base = runner.run("baseline", args.workload)
     slowdown = 100.0 * (result.end_time_ns / base.end_time_ns - 1.0)
     print(f"workload          : {result.workload}")
@@ -101,6 +172,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"DRAM power        : {result.dram_power_w:.2f} W")
     for key, value in result.extra.items():
         print(f"{key:<18}: {value}")
+    if result.observability is not None:
+        _print_observability(result, args.series_out)
     return 0
 
 
@@ -111,16 +184,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for comp in comparisons:
         print(f"{comp.workload:<12} {comp.normalized_performance:>10.4f}")
     print("-" * 23)
-    means = suite_geomeans(comparisons)
-    for suite, mean in means.items():
+    for suite, mean in comparisons.suite_geomeans().items():
         print(f"{suite:<12} {mean:>10.4f}")
     from repro.analysis.charts import bar_chart
 
-    slowdowns = {
-        suite: 100.0 * (1.0 / value - 1.0) for suite, value in means.items()
-    }
     print("\nslowdown by suite:")
-    print(bar_chart(slowdowns, width=40, unit="%"))
+    print(bar_chart(comparisons.slowdowns(), width=40, unit="%"))
+    if runner.manifest_path is not None:
+        print(f"\nmanifest appended: {runner.manifest_path}")
     return 0
 
 
@@ -247,11 +318,15 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.analysis.report import write_report
+    from repro.analysis.report import render_manifest, write_report
 
-    results_dir = Path(args.results_dir)
     output = Path(args.output) if args.output else None
-    text = write_report(results_dir, output)
+    if args.manifest:
+        text = render_manifest(Path(args.manifest))
+        if output is not None:
+            output.write_text(text)
+    else:
+        text = write_report(Path(args.results_dir), output)
     if output is None:
         print(text)
     else:
@@ -270,11 +345,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(run)
     run.add_argument("workload", choices=all_names())
     run.add_argument("--tracker", default="hydra")
+    run.add_argument(
+        "--observe",
+        action="store_true",
+        help="record per-window metrics during the run (bypasses the"
+        " result cache) and print the window series afterwards",
+    )
+    run.add_argument(
+        "--series-out",
+        default=None,
+        metavar="FILE",
+        help="with --observe: also write the window series + final"
+        " metrics snapshot as JSON",
+    )
     run.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser("sweep", help="run all 36 workloads")
     _add_common(sweep)
     sweep.add_argument("--tracker", default="hydra")
+    sweep.add_argument(
+        "--manifest",
+        default=None,
+        metavar="FILE",
+        help="append one JSON-lines provenance record per grid cell"
+        " (default: $REPRO_MANIFEST, or <cache>/manifest.jsonl when"
+        " REPRO_OBS=1)",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     catalogue = sub.add_parser(
@@ -330,6 +426,13 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--results-dir", default="benchmarks/results",
         help="directory of recorded benchmark JSON results",
+    )
+    report.add_argument(
+        "--manifest",
+        default=None,
+        metavar="FILE",
+        help="summarize a sweep manifest (JSON lines) instead of the"
+        " benchmark results directory",
     )
     report.add_argument(
         "--output", default=None, help="write markdown here instead of stdout"

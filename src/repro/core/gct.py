@@ -109,3 +109,21 @@ class GroupCountTable:
         """
         entry_bytes = max(1, (self.threshold.bit_length() + 7) // 8)
         return self.entries * entry_bytes
+
+    def publish_metrics(self, registry, prefix: str = "hydra_gct") -> None:
+        """End-of-run state for the observability registry.
+
+        ``saturated_groups`` is the *final window's* value (the table
+        resets every window); the per-window view comes from the
+        tracker's ``hydra_group_inits`` series counter instead.
+        """
+        registry.gauge(f"{prefix}_entries", "GCT table entries").set(
+            float(self.entries)
+        )
+        registry.gauge(
+            f"{prefix}_saturated_groups",
+            "groups at T_G when the run ended (current window)",
+        ).set(float(self.saturated_groups))
+        registry.gauge(f"{prefix}_sram_bytes", "GCT SRAM footprint").set(
+            float(self.sram_bytes())
+        )

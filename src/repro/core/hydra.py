@@ -204,6 +204,40 @@ class HydraTracker(ActivationTracker):
             "rit_act_activations": self.stats.rit_act_activations,
         }
 
+    def obs_snapshot(self) -> Dict[str, float]:
+        """Cumulative counters for the per-window series recorder.
+
+        ``HydraStats`` survives window resets (only the SRAM
+        structures clear), so every field differences cleanly into
+        per-window deltas: the three update levels reproduce Figure 6
+        window by window, and ``rcc_hits`` vs ``rct_accesses`` gives
+        the per-window RCC hit rate.
+        """
+        stats = self.stats
+        return {
+            "tracker_mitigations": float(stats.mitigations),
+            "hydra_gct_only": float(stats.gct_only),
+            "hydra_rcc_hits": float(stats.rcc_hits),
+            "hydra_rct_accesses": float(stats.rct_accesses),
+            "hydra_group_inits": float(stats.group_inits),
+            "hydra_meta_read_lines": float(stats.meta_read_lines),
+            "hydra_meta_write_lines": float(stats.meta_write_lines),
+            "hydra_rit_act_activations": float(stats.rit_act_activations),
+        }
+
+    def publish_metrics(self, registry) -> None:
+        """Publish tracker totals plus each structure's own metrics."""
+        super().publish_metrics(registry)
+        for name, value in self.obs_snapshot().items():
+            if name == "tracker_mitigations":
+                continue  # already published by the base class
+            registry.counter(name, f"HydraStats.{name}").inc(int(value))
+        if self.gct is not None:
+            self.gct.publish_metrics(registry)
+        if self.rcc is not None:
+            self.rcc.publish_metrics(registry)
+        self.rct.publish_metrics(registry)
+
     # ------------------------------------------------------------------
     # Internal paths
     # ------------------------------------------------------------------

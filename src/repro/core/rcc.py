@@ -135,3 +135,31 @@ class RowCountCache:
         Matches Table 4: an 8K-entry RCC costs 24 KB.
         """
         return self.entries * 3
+
+    def publish_metrics(self, registry, prefix: str = "hydra_rcc") -> None:
+        """End-of-run cache behaviour for the observability registry.
+
+        Hit/miss/eviction counters are cumulative across window resets
+        (``reset`` drops entries, not accounting), so these are true
+        whole-run totals; occupancy is the final window's.
+        """
+        registry.counter(f"{prefix}_hits", "RCC lookup hits").inc(self.hits)
+        registry.counter(f"{prefix}_misses", "RCC lookup misses").inc(
+            self.misses
+        )
+        registry.counter(
+            f"{prefix}_evictions", "dirty RCC entries written back"
+        ).inc(self.evictions)
+        registry.gauge(f"{prefix}_entries", "RCC capacity in entries").set(
+            float(self.entries)
+        )
+        registry.gauge(
+            f"{prefix}_occupancy", "entries resident when the run ended"
+        ).set(float(self.occupancy()))
+        registry.gauge(
+            f"{prefix}_hit_rate", "whole-run hits / (hits + misses)"
+        ).set(
+            self.hits / (self.hits + self.misses)
+            if self.hits + self.misses
+            else 0.0
+        )

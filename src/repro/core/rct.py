@@ -17,7 +17,8 @@ RIT-ACT counters (§5.2.2).
 
 from __future__ import annotations
 
-from typing import List
+from collections import Counter
+from typing import Dict, List
 
 from repro.dram.timing import DramGeometry
 from repro.interfaces import MetaAccess
@@ -107,3 +108,43 @@ class RowCountTable:
         loops survive a reset.
         """
         self._counts[:] = [0] * len(self._counts)
+
+    def count_frequencies(self) -> Dict[int, int]:
+        """How many rows currently hold each counter value.
+
+        One pass over the table (end-of-run observability, never the
+        hot path). The overwhelming majority of rows sit at zero —
+        only saturated groups ever get per-row values — so the result
+        is a small dict even for millions of rows.
+        """
+        return dict(Counter(self._counts))
+
+    def publish_metrics(self, registry, prefix: str = "hydra_rct") -> None:
+        """End-of-run table state for the observability registry.
+
+        Publishes a Figure-6-style histogram of the per-row counter
+        values left in the table (power-of-two buckets, sized so the
+        run's largest count lands in a real bucket).
+        """
+        frequencies = self.count_frequencies()
+        max_count = max(frequencies)
+        bounds: List[float] = [0.0]
+        edge = 1
+        while edge < max_count:
+            bounds.append(float(edge))
+            edge *= 2
+        bounds.append(float(max(edge, 1)))
+        histogram = registry.histogram(
+            f"{prefix}_row_counts",
+            bounds=bounds,
+            help_text="per-row RCT counter values at end of run"
+            " (current window; Fig-6-style count distribution)",
+        )
+        for value, rows in sorted(frequencies.items()):
+            histogram.observe_count(float(value), rows)
+        registry.gauge(
+            f"{prefix}_meta_rows", "DRAM rows reserved for the RCT"
+        ).set(float(self.total_meta_rows))
+        registry.gauge(
+            f"{prefix}_nonzero_rows", "rows with a live per-row count"
+        ).set(float(sum(n for v, n in frequencies.items() if v > 0)))

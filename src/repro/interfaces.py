@@ -87,6 +87,35 @@ class ActivationTracker(abc.ABC):
         """
         return {}
 
+    # -- observability (repro.obs; all optional to implement) ----------
+
+    def obs_snapshot(self) -> Dict[str, float]:
+        """Cumulative counters for the per-window series recorder.
+
+        Called at every tracking-window boundary of an *observed* run
+        (never otherwise), immediately before ``on_window_reset``, so
+        window-local state is still intact. Only monotonically
+        increasing counters belong here — the recorder differences
+        consecutive snapshots, and a value that resets each window
+        would difference to garbage. The default exposes the one
+        counter every tracker has.
+        """
+        return {"tracker_mitigations": float(self.mitigation_count())}
+
+    def publish_metrics(self, registry) -> None:
+        """End-of-run publication into a ``MetricsRegistry``.
+
+        Only invoked on observed runs. Subclasses should call
+        ``super().publish_metrics(registry)`` and add their own
+        instruments.
+        """
+        registry.counter(
+            "tracker_mitigations", "total mitigations issued by the tracker"
+        ).inc(self.mitigation_count())
+        registry.gauge(
+            "tracker_sram_bytes", "full-scale SRAM/CAM footprint"
+        ).set(float(self.sram_bytes()))
+
 
 class NullTracker(ActivationTracker):
     """The insecure baseline: no tracking, no mitigation."""

@@ -261,3 +261,68 @@ class BaseMemoryController:
         counters.
         """
         return {"total_delay_ns": self.stats.total_delay_ns}
+
+    # ------------------------------------------------------------------
+    # Observability (repro.obs)
+    # ------------------------------------------------------------------
+
+    @property
+    def window_period_ns(self) -> float:
+        """Tracking-window period driving the per-window recorder."""
+        return self._window.period
+
+    def obs_snapshot(self) -> Dict[str, float]:
+        """Cumulative controller counters for the per-window recorder.
+
+        Restricted to stats every engine maintains *live*: the fast
+        engine's fused loop batches its demand/activation counters
+        into locals and flushes them after the trace, so only the
+        counters updated through the feedback hooks (metadata traffic,
+        victim refreshes) are trustworthy at a window boundary.
+        """
+        stats = self.stats
+        return {
+            "mc_meta_accesses": float(stats.meta_accesses),
+            "mc_meta_line_transfers": float(stats.meta_line_transfers),
+            "mc_victim_refreshes": float(stats.victim_refreshes),
+        }
+
+    def enable_observability(self, recorder, registry) -> None:
+        """Swap the no-op probes for live ones (observed runs only).
+
+        Called once at build time, before any request runs: the
+        recorder snapshots the zeroed counters as its baseline, the
+        window schedule's observer becomes the recorder, and the
+        feedback worklist feeds a chain-length histogram. Unobserved
+        controllers never run this, so their probe slots keep the
+        no-op defaults — the zero-cost-when-off rule.
+        """
+        recorder.add_source(self.obs_snapshot)
+        recorder.add_source(self.tracker.obs_snapshot)
+        recorder.prime()
+        self._window.observer = recorder.on_window_reset
+        chain_hist = registry.histogram(
+            "feedback_chain_length",
+            bounds=(0, 1, 2, 4, 8, 16, 32),
+            help_text="tracker-caused activations chained per slow-path"
+            " event (meta accesses + victim refreshes fed back)",
+        )
+        self._feedback.observer = chain_hist.observe
+
+    def publish_metrics(self, registry) -> None:
+        """End-of-run stats publication (observed runs only).
+
+        Every field of the engine's stats dataclass becomes an
+        ``mc_``-prefixed counter — the queued engine's extra scheduler
+        counters ride along automatically — plus the derived bus
+        utilization as a gauge.
+        """
+        from dataclasses import fields as dataclass_fields
+
+        for spec in dataclass_fields(self.stats):
+            registry.counter(
+                f"mc_{spec.name}", f"ControllerStats.{spec.name}"
+            ).inc(getattr(self.stats, spec.name))
+        registry.gauge(
+            "mc_bus_utilization", "mean per-channel data-bus utilization"
+        ).set(self.bus_utilization())

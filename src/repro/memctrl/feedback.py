@@ -21,6 +21,7 @@ from __future__ import annotations
 from repro.dram.timing import DramTiming
 from repro.interfaces import ActivationTracker, MetaAccess
 from repro.memctrl.mitigation import VictimRefreshPolicy
+from repro.obs.metrics import noop
 
 
 class FeedbackHandler:
@@ -64,7 +65,7 @@ class TrackerFeedback:
     covers Half-Double-style second-ring effects with margin).
     """
 
-    __slots__ = ("tracker", "policy", "max_depth")
+    __slots__ = ("tracker", "policy", "max_depth", "observer")
 
     def __init__(
         self,
@@ -77,6 +78,12 @@ class TrackerFeedback:
         self.tracker = tracker
         self.policy = policy
         self.max_depth = max_feedback_depth
+        #: Observability probe: called with the number of feedback
+        #: activations a slow-path event chained (``repro.obs`` points
+        #: it at a histogram's ``observe``). Resolved once at build
+        #: time; the no-op default sits outside the fast path, which
+        #: never reaches :meth:`drive_followups` at all.
+        self.observer = noop
 
     def drive(
         self, row_id: int, at: float, handler: FeedbackHandler
@@ -136,6 +143,7 @@ class TrackerFeedback:
                     delay += response.delay_ns
                     break
             if response is None:
+                self.observer(cursor)
                 return delay
 
 
@@ -146,12 +154,19 @@ class WindowResetSchedule:
     refresh window (D-CBF's filter rotation uses 2).
     """
 
-    __slots__ = ("period", "next_reset")
+    __slots__ = ("period", "next_reset", "observer")
 
     def __init__(self, timing: DramTiming, tracker: ActivationTracker) -> None:
         divisor = getattr(tracker, "reset_divisor", 1)
         self.period = timing.refresh_window / divisor
         self.next_reset = self.period
+        #: Observability probe: called with each window boundary (ns)
+        #: *before* the tracker resets, so the per-window recorder
+        #: samples the closing window's state intact. Controllers that
+        #: cache ``next_reset`` in their hot loop only reach this on
+        #: the (rare) reset path, so the no-op default costs nothing
+        #: per activation.
+        self.observer = noop
 
     def due(self, at: float) -> bool:
         return at >= self.next_reset
@@ -160,6 +175,7 @@ class WindowResetSchedule:
         """Fire every reset scheduled at or before ``at``; count them."""
         fired = 0
         while at >= self.next_reset:
+            self.observer(self.next_reset)
             tracker.on_window_reset()
             self.next_reset += self.period
             fired += 1

@@ -1,0 +1,210 @@
+"""Metric primitives: counters, gauges, fixed-bucket histograms.
+
+The observability layer (DESIGN.md §10) separates *what* the system
+exposes from *when* it is sampled. This module is the "what": a
+:class:`MetricsRegistry` holds named metric instruments that trackers,
+engines, and the Hydra structures (GCT/RCC/RCT) publish into at the
+end of a run — or, for the feedback-chain histogram, during it.
+
+Everything here is deliberately simulation-agnostic: a metric is a
+name, a kind, and numbers. The zero-cost-when-off rule lives one
+level up — a controller only ever touches a registry after
+``enable_observability`` wired one in; with observability off the
+probe slots hold :func:`noop` and no registry exists at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def noop(*_args: Any, **_kwargs: Any) -> None:
+    """The disabled probe: accepts anything, does nothing.
+
+    Probe call sites resolve their target once at controller build
+    time, so the off-state cost is one no-op call on *slow* paths only
+    (window resets, feedback chains) and zero on per-activation paths.
+    """
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "help", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help = help_text
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def describe(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+
+class Gauge:
+    """Point-in-time value (occupancy, saturation, hit rate)."""
+
+    __slots__ = ("name", "help", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help = help_text
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def describe(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts of observations per bucket.
+
+    ``bounds`` are inclusive upper bucket edges in strictly ascending
+    order; one implicit overflow bucket catches everything above the
+    last edge. Fixed bounds keep observation O(len(bounds)) with no
+    allocation, which is what lets the feedback path afford one
+    ``observe`` per slow-path event.
+    """
+
+    __slots__ = ("name", "help", "bounds", "bucket_counts", "count", "total")
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, bounds: Sequence[float], help_text: str = ""
+    ) -> None:
+        edges = tuple(float(b) for b in bounds)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if any(b >= a for b, a in zip(edges, edges[1:])):
+            raise ValueError("histogram bounds must be strictly ascending")
+        self.name = name
+        self.help = help_text
+        self.bounds: Tuple[float, ...] = edges
+        self.bucket_counts: List[int] = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        index = 0
+        for edge in self.bounds:
+            if value <= edge:
+                break
+            index += 1
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.total += value
+
+    def observe_count(self, value: float, times: int) -> None:
+        """Record ``times`` identical observations in one call.
+
+        Lets end-of-run publishers turn an existing count array (e.g.
+        the RCT's per-row counters) into a histogram without looping
+        per element at observation granularity.
+        """
+        if times <= 0:
+            return
+        index = 0
+        for edge in self.bounds:
+            if value <= edge:
+                break
+            index += 1
+        self.bucket_counts[index] += times
+        self.count += times
+        self.total += value * times
+
+    def buckets(self) -> Dict[str, int]:
+        """Bucket label -> count (labels like ``<=4`` and ``>64``)."""
+        labels = [f"<={edge:g}" for edge in self.bounds]
+        labels.append(f">{self.bounds[-1]:g}")
+        return dict(zip(labels, self.bucket_counts))
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "count": self.count,
+            "total": self.total,
+            "buckets": self.buckets(),
+        }
+
+
+class MetricsRegistry:
+    """Named collection of metric instruments for one observed run.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: publishing
+    code does not care whether another publisher already registered
+    the name, but re-registering a name as a *different* kind (or a
+    histogram with different bounds) is a programming error and
+    raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: "Dict[str, Any]" = {}
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(
+        self, name: str, bounds: Sequence[float], help_text: str = ""
+    ) -> Histogram:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            if existing.bounds != tuple(float(b) for b in bounds):
+                raise ValueError(
+                    f"histogram {name!r} already registered with bounds"
+                    f" {existing.bounds}"
+                )
+            return existing
+        metric = Histogram(name, bounds, help_text)
+        self._metrics[name] = metric
+        return metric
+
+    def _get_or_create(self, cls, name: str, help_text: str):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = cls(name, help_text)
+        self._metrics[name] = metric
+        return metric
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> Iterable[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Optional[Any]:
+        return self._metrics.get(name)
+
+    def collect(self) -> Dict[str, Dict[str, Any]]:
+        """Snapshot every metric as plain JSON-serializable dicts."""
+        return {
+            name: self._metrics[name].describe()
+            for name in sorted(self._metrics)
+        }

@@ -1,0 +1,239 @@
+"""Per-window time-series recording.
+
+Hydra's dynamics are windowed: every 64 ms tracking window the GCT,
+RCC, and RIT-ACT reset, so "how did the run behave?" is naturally a
+question about *per-window deltas* of the cumulative counters —
+activation updates per level (Figure 6), mitigations, metadata
+traffic, RCC hits/misses.
+
+:class:`WindowSeriesRecorder` plugs into
+:class:`~repro.memctrl.feedback.WindowResetSchedule` as its
+``observer`` callable: the schedule invokes it at each window
+boundary *before* the tracker's ``on_window_reset`` runs, so sources
+are sampled while the window's state is still intact. Sources are
+zero-argument callables returning ``{counter_name: cumulative_value}``
+(the ``obs_snapshot`` methods of the controller and tracker); the
+recorder differences consecutive snapshots into one
+:class:`WindowSample` per window. Only *cumulative* counters belong
+in a snapshot — values that reset at window boundaries (GCT
+saturation, RCC occupancy) would make the deltas meaningless.
+
+The result, a :class:`WindowSeries`, can regenerate the Figure 6
+distribution from its summed deltas (``hydra_distribution``) —
+per-window or whole-run — without touching ``RunResult.extra``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+Snapshot = Dict[str, float]
+SnapshotSource = Callable[[], Snapshot]
+
+
+@dataclass(frozen=True)
+class WindowSample:
+    """Counter deltas accumulated during one tracking window."""
+
+    index: int
+    start_ns: float
+    end_ns: float
+    counters: Dict[str, float]
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self.counters.get(name, default)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "counters": dict(self.counters),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "WindowSample":
+        return WindowSample(
+            index=int(data["index"]),
+            start_ns=float(data["start_ns"]),
+            end_ns=float(data["end_ns"]),
+            counters=dict(data.get("counters", {})),
+        )
+
+
+@dataclass(frozen=True)
+class WindowSeries:
+    """Ordered per-window samples of one observed run."""
+
+    period_ns: float
+    samples: Tuple[WindowSample, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self) -> Iterator[WindowSample]:
+        return iter(self.samples)
+
+    def __getitem__(self, index: int) -> WindowSample:
+        return self.samples[index]
+
+    def column(self, name: str) -> List[float]:
+        """One counter's per-window deltas, in window order."""
+        return [sample.get(name) for sample in self.samples]
+
+    def totals(self) -> Dict[str, float]:
+        """Whole-run totals: the per-window deltas summed back up."""
+        merged: Dict[str, float] = {}
+        for sample in self.samples:
+            for name, value in sample.counters.items():
+                merged[name] = merged.get(name, 0.0) + value
+        return merged
+
+    def hydra_distribution(
+        self, totals: Optional[Dict[str, float]] = None
+    ) -> Dict[str, float]:
+        """Figure 6 regenerated from the series (or one window's deltas).
+
+        Uses the Hydra counters ``hydra_gct_only`` /
+        ``hydra_rcc_hits`` / ``hydra_rct_accesses``; pass one sample's
+        ``counters`` to get a single window's distribution. Returns
+        the same shape as ``HydraStats.distribution()`` so the two can
+        be compared directly.
+        """
+        source = self.totals() if totals is None else totals
+        gct = source.get("hydra_gct_only", 0.0)
+        rcc = source.get("hydra_rcc_hits", 0.0)
+        rct = source.get("hydra_rct_accesses", 0.0)
+        total = gct + rcc + rct
+        if total == 0:
+            return {"gct_only": 0.0, "rcc_hit": 0.0, "rct_access": 0.0}
+        return {
+            "gct_only": gct / total,
+            "rcc_hit": rcc / total,
+            "rct_access": rct / total,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "period_ns": self.period_ns,
+            "samples": [sample.to_dict() for sample in self.samples],
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "WindowSeries":
+        return WindowSeries(
+            period_ns=float(data["period_ns"]),
+            samples=tuple(
+                WindowSample.from_dict(s) for s in data.get("samples", [])
+            ),
+        )
+
+
+class WindowSeriesRecorder:
+    """Differences cumulative snapshots into per-window samples.
+
+    Lifecycle: ``add_source`` the snapshot callables, ``prime`` once
+    before the run (captures the zero baseline), let the window
+    schedule call ``on_window_reset(boundary_ns)`` at each boundary,
+    then ``finalize(end_ns)`` to capture the trailing partial window
+    and obtain the immutable :class:`WindowSeries`.
+    """
+
+    def __init__(self, period_ns: float) -> None:
+        if period_ns <= 0:
+            raise ValueError("period_ns must be positive")
+        self.period_ns = period_ns
+        self._sources: List[SnapshotSource] = []
+        self._samples: List[WindowSample] = []
+        self._last: Snapshot = {}
+        self._window_start_ns = 0.0
+        self._index = 0
+        self._primed = False
+
+    def add_source(self, source: SnapshotSource) -> None:
+        self._sources.append(source)
+
+    def prime(self) -> None:
+        """Capture the pre-run baseline snapshot."""
+        self._last = self._merged_snapshot()
+        self._primed = True
+
+    def on_window_reset(self, boundary_ns: float) -> None:
+        """Window-schedule observer: close the window ending here."""
+        self._emit(boundary_ns)
+
+    def finalize(self, end_ns: float) -> WindowSeries:
+        """Close any trailing partial window; return the series.
+
+        A run shorter than one window still produces one sample (the
+        whole run), so every observed run has a non-empty series.
+        """
+        if not self._primed:
+            self.prime()
+        snapshot = self._merged_snapshot()
+        if snapshot != self._last or not self._samples:
+            self._emit(max(end_ns, self._window_start_ns), snapshot)
+        return WindowSeries(
+            period_ns=self.period_ns, samples=tuple(self._samples)
+        )
+
+    # ------------------------------------------------------------------
+
+    def _merged_snapshot(self) -> Snapshot:
+        merged: Snapshot = {}
+        for source in self._sources:
+            merged.update(source())
+        return merged
+
+    def _emit(
+        self, end_ns: float, snapshot: Optional[Snapshot] = None
+    ) -> None:
+        if snapshot is None:
+            snapshot = self._merged_snapshot()
+        previous = self._last
+        deltas = {
+            name: value - previous.get(name, 0.0)
+            for name, value in snapshot.items()
+        }
+        self._samples.append(
+            WindowSample(
+                index=self._index,
+                start_ns=self._window_start_ns,
+                end_ns=end_ns,
+                counters=deltas,
+            )
+        )
+        self._last = snapshot
+        self._window_start_ns = end_ns
+        self._index += 1
+
+
+@dataclass
+class RunObservability:
+    """Everything one observed run recorded.
+
+    Carried on ``RunResult.observability`` (a non-serialized,
+    non-compared field — see DESIGN.md §10: cached payloads and golden
+    parity are byte-identical whether observability ran or not).
+    """
+
+    series: WindowSeries
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "series": self.series.to_dict(),
+            "metrics": dict(self.metrics),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "RunObservability":
+        return RunObservability(
+            series=WindowSeries.from_dict(data["series"]),
+            metrics=dict(data.get("metrics", {})),
+        )

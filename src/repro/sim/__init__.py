@@ -9,13 +9,22 @@ from repro.sim.config import (
     default_scale,
     resolve_jobs,
 )
-from repro.sim.results import Comparison, RunResult, geometric_mean
+from repro.sim.results import (
+    SCHEMA_VERSION,
+    WELL_KNOWN_EXTRAS,
+    Comparison,
+    ComparisonResult,
+    GridResult,
+    RunResult,
+    geometric_mean,
+)
 from repro.sim.simulator import (
     make_tracker,
     simulate,
     simulate_workload,
     trace_for_workload,
 )
+from repro.sim.spec import DEFAULT_TRACKER, RunSpec
 from repro.sim.sweep import (
     ExperimentRunner,
     SweepProgress,
@@ -26,11 +35,17 @@ from repro.sim.sweep import (
 
 __all__ = [
     "Comparison",
+    "ComparisonResult",
+    "DEFAULT_TRACKER",
     "ExperimentRunner",
+    "GridResult",
     "ResultCache",
     "RunResult",
+    "RunSpec",
+    "SCHEMA_VERSION",
     "SweepProgress",
     "SystemConfig",
+    "WELL_KNOWN_EXTRAS",
     "baseline_table2",
     "cell_key",
     "default_cache_dir",

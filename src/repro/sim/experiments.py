@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Sequence
 
 from repro.sim.config import SystemConfig
-from repro.sim.sweep import ExperimentRunner, suite_geomeans, suite_slowdowns
+from repro.sim.sweep import ExperimentRunner
 
 ExperimentFn = Callable[[SystemConfig], dict]
 
@@ -54,10 +54,11 @@ def _tracker_sweep(
                 for c in comparisons
             },
             "suite_geomeans": {
-                k: round(v, 4) for k, v in suite_geomeans(comparisons).items()
+                k: round(v, 4)
+                for k, v in comparisons.suite_geomeans().items()
             },
             "suite_slowdowns_percent": {
-                k: round(v, 3) for k, v in suite_slowdowns(comparisons).items()
+                k: round(v, 3) for k, v in comparisons.slowdowns().items()
             },
         }
     return payload
@@ -85,7 +86,7 @@ def fig6_distribution(config: SystemConfig) -> dict:
     return {
         name: {
             k: round(v, 5)
-            for k, v in runner.run("hydra", name).extra["distribution"].items()
+            for k, v in runner.run("hydra", name).hydra_distribution.items()
         }
         for name in all_names()
     }

@@ -4,10 +4,18 @@
 *engine* carrying the requested tracker, and packages the outcome as a
 :class:`~repro.sim.results.RunResult`. Both engines — the fast
 in-order controller and the queued FR-FCFS controller — run through
-this single code path (``build_controller`` + ``run_trace``), so
-every consumer (sweeps, the result cache, benchmarks, the CLI) is
+this single code path (``RunSpec.build_controller`` + ``run_trace``),
+so every consumer (sweeps, the result cache, benchmarks, the CLI) is
 engine-agnostic: set ``SystemConfig.engine`` or put ``engine=queued``
 in a tracker spec and nothing else changes.
+
+What to run is described by a :class:`~repro.sim.spec.RunSpec` — one
+immutable value object replacing the old three-way
+``tracker_name``/``tracker``/``engine`` precedence rules. The legacy
+keywords still work as constructors for a RunSpec, but conflicting
+combinations (two ways of naming the tracker, or an ``engine=``
+argument contradicting an ``engine=`` inside the spec string) now
+raise instead of silently resolving.
 
 Tracker construction is spec-driven (``make_tracker`` delegates to the
 declarative registry in :mod:`repro.trackers.registry`), so sweeps and
@@ -25,19 +33,26 @@ regenerates the trace locally (memoized per process, so a pool worker
 pays for each workload's trace once) and runs the simulation —
 because specs are strings, parallel sweeps get parameter *and engine*
 sweeps for free.
+
+Observability: pass ``observe=True`` (or export ``REPRO_OBS=1``) and
+the run carries a :class:`~repro.obs.recorder.RunObservability` on
+``result.observability`` — a per-tracking-window counter series plus
+an end-of-run metrics registry snapshot. Observation changes nothing
+else: the serialized result is byte-identical either way (the golden
+parity suite pins this).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.dram.power import DramPowerModel
 from repro.interfaces import ActivationTracker
-from repro.memctrl import build_controller, normalize_engine
 from repro.sim.config import SystemConfig
 from repro.sim.results import RunResult
-from repro.trackers.registry import build_tracker, spec_engine
+from repro.sim.spec import RunSpec
+from repro.trackers.registry import build_tracker
 from repro.workloads.characteristics import workload
 from repro.workloads.synthetic import SyntheticWorkloadGenerator
 from repro.workloads.trace import Trace
@@ -75,11 +90,21 @@ def trace_for_workload(config: SystemConfig, workload_name: str) -> Trace:
 
 
 def simulate_workload(
-    config: SystemConfig, tracker_name: str, workload_name: str
+    config: SystemConfig,
+    spec: Union[str, RunSpec] = RunSpec(),
+    workload_name: str = "GUPS",
+    observe: Optional[bool] = None,
 ) -> "RunResult":
-    """One grid cell from names alone (the parallel-sweep work unit)."""
+    """One grid cell from names alone (the parallel-sweep work unit).
+
+    ``spec`` is a tracker spec string or a :class:`RunSpec` (strings
+    keep this picklable for pool workers).
+    """
     return simulate(
-        trace_for_workload(config, workload_name), config, tracker_name
+        trace_for_workload(config, workload_name),
+        config,
+        spec=spec,
+        observe=observe,
     )
 
 
@@ -95,30 +120,42 @@ def make_tracker(name: str, config: SystemConfig) -> ActivationTracker:
 def simulate(
     trace: Trace,
     config: SystemConfig,
-    tracker_name: str = "hydra",
+    spec: Union[None, str, RunSpec] = None,
     tracker: Optional[ActivationTracker] = None,
     engine: Optional[str] = None,
+    observe: Optional[bool] = None,
+    tracker_name: Optional[str] = None,
 ) -> RunResult:
     """Run one trace through one system configuration.
 
-    The engine is resolved in precedence order: the explicit
-    ``engine`` argument, an ``engine=`` override in the tracker spec,
-    then ``config.engine``.
+    ``spec`` (a spec string or :class:`RunSpec`) is the preferred way
+    to say what runs; ``tracker=`` (a prebuilt instance) and
+    ``engine=`` remain as RunSpec constructors, and conflicting
+    combinations raise ``ValueError`` (see :meth:`RunSpec.coerce`).
+    Engine resolution is unchanged: explicit ``engine`` argument, then
+    an ``engine=`` override in the spec string, then ``config.engine``.
+
+    ``observe=True`` attaches the observability layer (per-window
+    series + metrics registry) to this run; ``None`` defers to
+    ``$REPRO_OBS``. The returned result is identical either way except
+    for the non-serialized ``observability`` field.
     """
-    if engine is None:
-        if tracker is None:
-            engine = spec_engine(tracker_name)
-        engine = engine or config.engine
-    engine = normalize_engine(engine)
-    if tracker is None:
-        tracker = make_tracker(tracker_name, config)
-    controller = build_controller(
-        engine,
-        geometry=config.geometry,
-        timing=config.timing,
-        tracker=tracker,
-        blast_radius=config.blast_radius,
+    run_spec = RunSpec.coerce(
+        spec=spec, tracker_name=tracker_name, tracker=tracker, engine=engine
     )
+    controller = run_spec.build_controller(config)
+    resolved_tracker = controller.tracker
+
+    observation = None
+    if observe is None:
+        from repro.obs import obs_enabled
+
+        observe = obs_enabled()
+    if observe:
+        from repro.obs import observe_controller
+
+        observation = observe_controller(controller)
+
     outcome = controller.run_trace(trace, mlp=config.mlp)
 
     activity = controller.activity()
@@ -130,10 +167,15 @@ def simulate(
         n_ranks=config.geometry.channels * config.geometry.ranks_per_channel,
     )
     extra: Dict[str, object] = dict(controller.result_extras())
-    extra.update(tracker.extra_stats())
+    extra.update(resolved_tracker.extra_stats())
+    observability = (
+        observation.finalize(outcome.end_time_ns)
+        if observation is not None
+        else None
+    )
     return RunResult(
         workload=trace.name,
-        tracker=getattr(tracker, "name", tracker_name),
+        tracker=run_spec.result_tracker_label(resolved_tracker),
         end_time_ns=outcome.end_time_ns,
         requests=outcome.requests,
         average_latency_ns=outcome.average_latency_ns,
@@ -141,11 +183,12 @@ def simulate(
         meta_accesses=controller.stats.meta_accesses,
         meta_line_transfers=controller.stats.meta_line_transfers,
         victim_refreshes=controller.stats.victim_refreshes,
-        mitigations=tracker.mitigation_count(),
+        mitigations=resolved_tracker.mitigation_count(),
         window_resets=controller.stats.window_resets,
         activations=activity.activations,
         bus_utilization=controller.bus_utilization(),
         dram_power_w=power.average_power,
-        engine=engine,
+        engine=controller.engine,
+        observability=observability,
         extra=extra,
     )

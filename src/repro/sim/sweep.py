@@ -26,6 +26,13 @@ even concurrent benchmark processes can share one cache directory.
 
 Set ``REPRO_CACHE_DIR`` to relocate the cache; delete it to force
 re-simulation.
+
+Provenance: when a manifest destination is configured (an explicit
+``manifest_path``, ``$REPRO_MANIFEST``, or — with ``REPRO_OBS=1`` — a
+``manifest.jsonl`` next to the cache), every ``run_grid`` appends one
+JSON-lines :class:`~repro.obs.manifest.ManifestRecord` per cell:
+canonical spec, cache key, engine, cache hit or not, wall time,
+throughput. ``hydra-sim report --manifest`` summarizes the log.
 """
 
 from __future__ import annotations
@@ -35,8 +42,14 @@ import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.manifest import (
+    ManifestRecord,
+    ManifestWriter,
+    make_record,
+    resolve_manifest_path,
+)
 from repro.sim.cache import ResultCache
 from repro.sim.config import (
     CACHE_ENV_VAR,  # noqa: F401  (re-exported; historically lived here)
@@ -44,10 +57,16 @@ from repro.sim.config import (
     default_cache_dir,
     resolve_jobs,
 )
-from repro.sim.results import Comparison, RunResult, geometric_mean
+from repro.sim.results import (
+    Comparison,  # noqa: F401  (re-exported for established importers)
+    ComparisonResult,
+    GridResult,
+    RunResult,
+    geometric_mean,  # noqa: F401  (re-exported for established importers)
+)
 from repro.sim.simulator import simulate_workload, trace_for_workload
 from repro.trackers.registry import canonical_spec
-from repro.workloads.characteristics import SUITES, all_names
+from repro.workloads.characteristics import all_names
 from repro.workloads.trace import Trace
 
 #: Bump to invalidate cached results when the model changes materially.
@@ -77,26 +96,28 @@ def _run_cell(
     tracker_name: str,
     workload_name: str,
     cache_dir: Optional[str],
-) -> Tuple[Dict[str, Any], bool]:
+) -> Tuple[Dict[str, Any], bool, float]:
     """Pool-worker work unit: one cell, through the shared disk cache.
 
-    Returns ``(payload, from_cache)`` where ``payload`` is the
-    :class:`RunResult` as a plain dict (cheap to pickle back). The
+    Returns ``(payload, from_cache, wall_s)`` where ``payload`` is the
+    :class:`RunResult` as a plain dict (cheap to pickle back) and
+    ``wall_s`` the wall-clock seconds the cell cost this worker. The
     worker fills the disk cache itself so a crash of the parent loses
     no completed work, and racing fills of one key are harmless: the
     simulation is deterministic and the cache write is atomic.
     """
+    started = time.perf_counter()
     cache = ResultCache(Path(cache_dir)) if cache_dir else None
     key = cell_key(config, tracker_name, workload_name)
     if cache is not None:
         payload = _validated_payload(cache, key)
         if payload is not None:
-            return payload, True
+            return payload, True, time.perf_counter() - started
     result = simulate_workload(config, tracker_name, workload_name)
     payload = result.to_dict()
     if cache is not None:
         cache.store(key, payload)
-    return payload, False
+    return payload, False, time.perf_counter() - started
 
 
 def _validated_payload(
@@ -179,6 +200,7 @@ class ExperimentRunner:
         cache_dir: Optional[Path] = None,
         use_disk_cache: bool = True,
         jobs: Optional[int] = None,
+        manifest_path: Optional[Union[str, Path]] = None,
     ) -> None:
         self.config = config
         self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
@@ -186,6 +208,12 @@ class ExperimentRunner:
         #: Default parallelism for grids run through this runner
         #: (``None`` defers to ``REPRO_JOBS``, then serial).
         self.jobs = jobs
+        #: Where ``run_grid`` appends per-cell provenance records, or
+        #: ``None`` for no manifest (explicit arg > ``$REPRO_MANIFEST``
+        #: > cache-adjacent default when observability is on).
+        self.manifest_path = resolve_manifest_path(
+            manifest_path, self.cache_dir
+        )
         self.cache = ResultCache(self.cache_dir)
         self._results: Dict[str, RunResult] = {}
 
@@ -215,15 +243,21 @@ class ExperimentRunner:
         workload_names: Optional[Sequence[str]] = None,
         jobs: Optional[int] = None,
         progress: Optional[bool] = None,
-    ) -> Dict[str, Dict[str, RunResult]]:
+    ) -> GridResult:
         """tracker -> workload -> RunResult for the whole grid.
+
+        Returns a :class:`~repro.sim.results.GridResult` — dict-style
+        access is unchanged, with ``.comparisons()``/``.slowdowns()``/
+        ``.geomean()``/``.to_table()`` on top.
 
         ``jobs`` > 1 fans uncached cells out over a process pool
         (``jobs=0`` = one worker per CPU; ``None`` defers to the
         runner's default, then ``REPRO_JOBS``, then serial). Results
         are identical to a serial run. ``progress`` forces the
         cells/hits/throughput report on or off (default: on when
-        stderr is a terminal).
+        stderr is a terminal). When the runner has a
+        ``manifest_path``, one provenance record per cell is appended
+        after the grid completes.
         """
         names = list(workload_names) if workload_names else all_names()
         trackers = list(tracker_names)
@@ -231,9 +265,11 @@ class ExperimentRunner:
         grid: Dict[str, Dict[str, RunResult]] = {t: {} for t in trackers}
         cells = [(t, w) for t in trackers for w in names]
         report = SweepProgress(total=len(cells), enabled=progress)
+        records: List[ManifestRecord] = []
 
         pending: List[Tuple[str, str]] = []
         for tracker, wl in cells:
+            started = time.perf_counter()
             key = self._key(tracker, wl)
             result = self._results.get(key)
             if result is None:
@@ -243,17 +279,59 @@ class ExperimentRunner:
             if result is not None:
                 grid[tracker][wl] = result
                 report.record(from_cache=True)
+                records.append(
+                    self._manifest_record(
+                        tracker, wl, result, True,
+                        time.perf_counter() - started,
+                    )
+                )
             else:
                 pending.append((tracker, wl))
 
         if n_jobs > 1 and len(pending) > 1:
-            self._run_cells_parallel(pending, grid, n_jobs, report)
+            self._run_cells_parallel(pending, grid, n_jobs, report, records)
         else:
             for tracker, wl in pending:
-                grid[tracker][wl] = self.run(tracker, wl)
+                started = time.perf_counter()
+                result = self.run(tracker, wl)
+                grid[tracker][wl] = result
                 report.record(from_cache=False)
+                records.append(
+                    self._manifest_record(
+                        tracker, wl, result, False,
+                        time.perf_counter() - started,
+                    )
+                )
         report.finish()
-        return grid
+        if self.manifest_path is not None and records:
+            ManifestWriter(self.manifest_path).append(records)
+        # Parallel cells land in completion order; normalize every
+        # column to the requested workload order so iteration (and
+        # everything derived from it) is deterministic.
+        ordered = {
+            tracker: {w: grid[tracker][w] for w in names if w in grid[tracker]}
+            for tracker in trackers
+        }
+        return GridResult(ordered)
+
+    def _manifest_record(
+        self,
+        tracker: str,
+        wl: str,
+        result: RunResult,
+        from_cache: bool,
+        wall_s: float,
+    ) -> ManifestRecord:
+        return make_record(
+            cache_key=self._key(tracker, wl),
+            spec=canonical_spec(tracker),
+            workload=wl,
+            engine=result.engine,
+            from_cache=from_cache,
+            wall_time_s=wall_s,
+            requests=result.requests,
+            end_time_ns=result.end_time_ns,
+        )
 
     def _run_cells_parallel(
         self,
@@ -261,6 +339,7 @@ class ExperimentRunner:
         grid: Dict[str, Dict[str, RunResult]],
         n_jobs: int,
         report: SweepProgress,
+        records: Optional[List[ManifestRecord]] = None,
     ) -> None:
         """Fan cells out over a process pool and collect as completed."""
         cache_dir = str(self.cache_dir) if self.use_disk_cache else None
@@ -275,11 +354,17 @@ class ExperimentRunner:
             }
             for future in as_completed(futures):
                 tracker, wl = futures[future]
-                payload, from_cache = future.result()
+                payload, from_cache, wall_s = future.result()
                 result = RunResult.from_dict(payload)
                 self._results[self._key(tracker, wl)] = result
                 grid[tracker][wl] = result
                 report.record(from_cache=from_cache)
+                if records is not None:
+                    records.append(
+                        self._manifest_record(
+                            tracker, wl, result, from_cache, wall_s
+                        )
+                    )
 
     def compare(
         self,
@@ -288,8 +373,12 @@ class ExperimentRunner:
         baseline_name: str = "baseline",
         jobs: Optional[int] = None,
         progress: Optional[bool] = None,
-    ) -> List[Comparison]:
+    ) -> ComparisonResult:
         """Tracked runs vs the no-tracking baseline, per workload.
+
+        Returns a :class:`~repro.sim.results.ComparisonResult` — a
+        plain list of :class:`Comparison` plus ``.geomean()``/
+        ``.suite_geomeans()``/``.slowdowns()``/``.to_table()``.
 
         Both columns of the comparison go through :meth:`run_grid`, so
         ``jobs``/``REPRO_JOBS`` parallelism applies here too.
@@ -301,15 +390,7 @@ class ExperimentRunner:
             jobs=jobs,
             progress=progress,
         )
-        return [
-            Comparison(
-                workload=wl,
-                tracker=tracker_name,
-                baseline_ns=grid[baseline_name][wl].end_time_ns,
-                tracked_ns=grid[tracker_name][wl].end_time_ns,
-            )
-            for wl in names
-        ]
+        return grid.comparisons(tracker_name, baseline=baseline_name)
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -333,19 +414,14 @@ class ExperimentRunner:
 
 
 def suite_geomeans(comparisons: Iterable[Comparison]) -> Dict[str, float]:
-    """Geomean normalized performance per suite (Figure 5's summary)."""
-    by_workload = {c.workload: c.normalized_performance for c in comparisons}
-    means: Dict[str, float] = {}
-    for suite, members in SUITES.items():
-        values = [by_workload[m] for m in members if m in by_workload]
-        if values:
-            means[suite] = geometric_mean(values)
-    return means
+    """Geomean normalized performance per suite (Figure 5's summary).
+
+    Function form of :meth:`ComparisonResult.suite_geomeans`, kept for
+    callers holding a plain comparison iterable.
+    """
+    return ComparisonResult(comparisons).suite_geomeans()
 
 
 def suite_slowdowns(comparisons: Iterable[Comparison]) -> Dict[str, float]:
     """Percent slowdown per suite (Figures 7/9/10's y-axis)."""
-    return {
-        suite: 100.0 * (1.0 / value - 1.0)
-        for suite, value in suite_geomeans(comparisons).items()
-    }
+    return ComparisonResult(comparisons).slowdowns()

@@ -160,6 +160,34 @@ class CraTracker(ActivationTracker):
             "cache_miss_rate": self.cache.misses / total if total else 0.0,
         }
 
+    def obs_snapshot(self) -> dict:
+        """Cumulative counters for the per-window series recorder.
+
+        The metadata cache's hit/miss/eviction counters survive window
+        resets (``LineMetadataCache.reset`` clears entries, not
+        accounting), so the per-window cache miss rate — the Figure 2
+        story — falls out of the deltas.
+        """
+        return {
+            "tracker_mitigations": float(self.mitigations),
+            "cra_cache_hits": float(self.cache.hits),
+            "cra_cache_misses": float(self.cache.misses),
+            "cra_cache_evictions": float(self.cache.evictions),
+            "cra_extra_read_lines": float(self.extra_read_lines),
+            "cra_extra_write_lines": float(self.extra_write_lines),
+        }
+
+    def publish_metrics(self, registry) -> None:
+        super().publish_metrics(registry)
+        for name, value in self.obs_snapshot().items():
+            if name == "tracker_mitigations":
+                continue
+            registry.counter(name, f"CraTracker {name}").inc(int(value))
+        total = self.cache.hits + self.cache.misses
+        registry.gauge(
+            "cra_cache_miss_rate", "whole-run metadata-cache miss rate"
+        ).set(self.cache.misses / total if total else 0.0)
+
     def sram_bytes(self) -> int:
         """Metadata cache data + ~25% tag/valid/LRU overhead."""
         return int(self.cache_bytes * 1.25)

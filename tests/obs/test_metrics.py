@@ -1,0 +1,119 @@
+"""Metric primitives: counters, gauges, histograms, the registry."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, noop
+
+
+class TestNoop:
+    def test_accepts_anything_returns_none(self):
+        assert noop() is None
+        assert noop(1, 2, 3, key="value") is None
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("acts")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_rejects_negative(self):
+        counter = Counter("acts")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_describe(self):
+        counter = Counter("acts", "activations")
+        counter.inc(3)
+        assert counter.describe() == {
+            "kind": "counter",
+            "help": "activations",
+            "value": 3,
+        }
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("occupancy")
+        gauge.set(0.5)
+        gauge.set(0.25)
+        assert gauge.value == 0.25
+        assert gauge.describe()["kind"] == "gauge"
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = Histogram("chain", bounds=(1, 2, 4))
+        for value in (0, 1, 2, 3, 4, 5, 100):
+            hist.observe(value)
+        assert hist.buckets() == {"<=1": 2, "<=2": 1, "<=4": 2, ">4": 2}
+        assert hist.count == 7
+        assert hist.total == pytest.approx(115.0)
+
+    def test_observe_count(self):
+        hist = Histogram("rows", bounds=(0, 1, 2))
+        hist.observe_count(0.0, 10)
+        hist.observe_count(2.0, 3)
+        hist.observe_count(9.0, 2)
+        hist.observe_count(1.0, 0)  # no-op
+        assert hist.buckets() == {"<=0": 10, "<=1": 0, "<=2": 3, ">2": 2}
+        assert hist.count == 15
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("empty", bounds=())
+        with pytest.raises(ValueError, match="strictly ascending"):
+            Histogram("dup", bounds=(1, 1, 2))
+        with pytest.raises(ValueError, match="strictly ascending"):
+            Histogram("desc", bounds=(2, 1))
+
+    def test_describe_is_json_shaped(self):
+        hist = Histogram("chain", bounds=(1, 2))
+        hist.observe(1.5)
+        described = hist.describe()
+        assert described["kind"] == "histogram"
+        assert described["count"] == 1
+        assert described["buckets"] == {"<=1": 0, "<=2": 1, ">2": 0}
+
+
+class TestMetricsRegistry:
+    def test_get_or_create(self):
+        registry = MetricsRegistry()
+        first = registry.counter("acts")
+        second = registry.counter("acts")
+        assert first is second
+        assert len(registry) == 1
+        assert "acts" in registry
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("acts")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("acts")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("acts", bounds=(1,))
+
+    def test_histogram_bounds_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("chain", bounds=(1, 2))
+        assert registry.histogram("chain", bounds=(1, 2)) is not None
+        with pytest.raises(ValueError, match="bounds"):
+            registry.histogram("chain", bounds=(1, 2, 4))
+
+    def test_collect_sorted_and_serializable(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.gauge("b_gauge").set(1.0)
+        registry.counter("a_counter").inc(2)
+        collected = registry.collect()
+        assert list(collected) == ["a_counter", "b_gauge"]
+        json.dumps(collected)  # must be JSON-clean
+
+    def test_get_and_names(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("acts")
+        assert registry.get("acts") is counter
+        assert registry.get("missing") is None
+        assert list(registry.names()) == ["acts"]

@@ -1,0 +1,148 @@
+"""Window-series recorder: snapshot differencing into per-window deltas."""
+
+import pytest
+
+from repro.obs import (
+    RunObservability,
+    WindowSample,
+    WindowSeries,
+    WindowSeriesRecorder,
+)
+
+
+class FakeSource:
+    """A cumulative counter the test scripts by hand."""
+
+    def __init__(self, **counters):
+        self.counters = dict(counters)
+
+    def bump(self, **deltas):
+        for name, delta in deltas.items():
+            self.counters[name] = self.counters.get(name, 0.0) + delta
+
+    def snapshot(self):
+        return dict(self.counters)
+
+
+class TestRecorder:
+    def test_windows_hold_deltas_not_cumulatives(self):
+        source = FakeSource(acts=0.0)
+        recorder = WindowSeriesRecorder(period_ns=100.0)
+        recorder.add_source(source.snapshot)
+        recorder.prime()
+        source.bump(acts=10)
+        recorder.on_window_reset(100.0)
+        source.bump(acts=7)
+        recorder.on_window_reset(200.0)
+        series = recorder.finalize(200.0)
+        assert series.column("acts") == [10.0, 7.0]
+        assert series.totals() == {"acts": 17.0}
+
+    def test_trailing_partial_window(self):
+        source = FakeSource(acts=0.0)
+        recorder = WindowSeriesRecorder(period_ns=100.0)
+        recorder.add_source(source.snapshot)
+        recorder.prime()
+        source.bump(acts=4)
+        recorder.on_window_reset(100.0)
+        source.bump(acts=2)
+        series = recorder.finalize(130.0)
+        assert len(series) == 2
+        assert series[1].counters == {"acts": 2.0}
+        assert series[1].start_ns == 100.0
+        assert series[1].end_ns == 130.0
+        assert series[1].duration_ns == pytest.approx(30.0)
+
+    def test_no_trailing_window_when_nothing_changed(self):
+        source = FakeSource(acts=0.0)
+        recorder = WindowSeriesRecorder(period_ns=100.0)
+        recorder.add_source(source.snapshot)
+        recorder.prime()
+        source.bump(acts=4)
+        recorder.on_window_reset(100.0)
+        series = recorder.finalize(100.0)
+        assert len(series) == 1
+
+    def test_short_run_still_produces_one_sample(self):
+        source = FakeSource(acts=0.0)
+        recorder = WindowSeriesRecorder(period_ns=1000.0)
+        recorder.add_source(source.snapshot)
+        recorder.prime()
+        series = recorder.finalize(42.0)
+        assert len(series) == 1
+        assert series[0].counters == {"acts": 0.0}
+
+    def test_multiple_sources_merge(self):
+        a = FakeSource(acts=0.0)
+        b = FakeSource(mitigations=0.0)
+        recorder = WindowSeriesRecorder(period_ns=100.0)
+        recorder.add_source(a.snapshot)
+        recorder.add_source(b.snapshot)
+        recorder.prime()
+        a.bump(acts=3)
+        b.bump(mitigations=1)
+        series = recorder.finalize(100.0)
+        assert series[0].counters == {"acts": 3.0, "mitigations": 1.0}
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError, match="positive"):
+            WindowSeriesRecorder(period_ns=0.0)
+
+    def test_prime_baseline_excluded_from_first_window(self):
+        source = FakeSource(acts=100.0)  # pre-run state
+        recorder = WindowSeriesRecorder(period_ns=100.0)
+        recorder.add_source(source.snapshot)
+        recorder.prime()
+        source.bump(acts=5)
+        series = recorder.finalize(100.0)
+        assert series.column("acts") == [5.0]
+
+
+class TestWindowSeries:
+    def _series(self):
+        return WindowSeries(
+            period_ns=100.0,
+            samples=(
+                WindowSample(0, 0.0, 100.0, {"hydra_gct_only": 90.0}),
+                WindowSample(
+                    1,
+                    100.0,
+                    200.0,
+                    {"hydra_rcc_hits": 9.0, "hydra_rct_accesses": 1.0},
+                ),
+            ),
+        )
+
+    def test_hydra_distribution_from_totals(self):
+        dist = self._series().hydra_distribution()
+        assert dist == {
+            "gct_only": 0.90,
+            "rcc_hit": 0.09,
+            "rct_access": 0.01,
+        }
+
+    def test_hydra_distribution_single_window(self):
+        series = self._series()
+        dist = series.hydra_distribution(series[0].counters)
+        assert dist["gct_only"] == 1.0
+
+    def test_hydra_distribution_empty_is_zeros(self):
+        series = WindowSeries(period_ns=100.0)
+        assert series.hydra_distribution() == {
+            "gct_only": 0.0,
+            "rcc_hit": 0.0,
+            "rct_access": 0.0,
+        }
+
+    def test_dict_roundtrip(self):
+        series = self._series()
+        restored = WindowSeries.from_dict(series.to_dict())
+        assert restored == series
+
+    def test_observability_roundtrip(self):
+        obs = RunObservability(
+            series=self._series(),
+            metrics={"acts": {"kind": "counter", "help": "", "value": 3}},
+        )
+        restored = RunObservability.from_dict(obs.to_dict())
+        assert restored == obs

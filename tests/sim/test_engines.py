@@ -190,9 +190,16 @@ class TestSpecEngineAxis:
         result = simulate_workload(CONFIG, "baseline@engine=queued", "xz")
         assert result.engine == "queued"
 
-    def test_explicit_argument_beats_spec(self):
+    def test_conflicting_engine_argument_raises(self):
+        # Pre-RunSpec, an explicit engine= argument silently beat the
+        # spec's engine= override; conflicts are now a hard error.
+        trace = distinct_row_trace(CONFIG, n=50)
+        with pytest.raises(ValueError, match="conflicting engines"):
+            simulate(trace, CONFIG, "baseline@engine=queued", engine="fast")
+
+    def test_matching_engine_argument_allowed(self):
         trace = distinct_row_trace(CONFIG, n=50)
         result = simulate(
-            trace, CONFIG, "baseline@engine=queued", engine="fast"
+            trace, CONFIG, "baseline@engine=queued", engine="queued"
         )
-        assert result.engine == "fast"
+        assert result.engine == "queued"
