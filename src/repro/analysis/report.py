@@ -146,6 +146,77 @@ def write_report(
     return text
 
 
+def _kib(size_bytes: int) -> str:
+    """Compact storage rendering for arena tables."""
+    if size_bytes == 0:
+        return "0"
+    if size_bytes < 1024:
+        return f"{size_bytes} B"
+    kib = size_bytes / 1024
+    if kib < 1024:
+        return f"{kib:.1f} KiB"
+    return f"{kib / 1024:.1f} MiB"
+
+
+def render_arena(report) -> str:
+    """Markdown Pareto report of an arena run (``hydra-sim arena``).
+
+    One table per T_RH rung — slowdown, storage split by medium,
+    oracle verdict — with the per-rung (slowdown, storage) Pareto
+    frontier starred and summarized. Storage is at the simulated
+    scale, so cross-tracker ratios (the frontier's currency) are
+    exact while absolute sizes shrink with ``scale``.
+    """
+    lines: List[str] = [
+        "# Tracker arena — slowdown / storage / security Pareto report",
+        "",
+        f"- scale: {report.scale} | engine: {report.engine}",
+        f"- workloads (slowdown axis): {', '.join(report.workloads)}",
+        f"- T_RH ladder: {', '.join(str(t) for t in report.trh_ladder)}",
+        "",
+        "Verdicts are judged against each tracker's declared security"
+        " class; `*` marks the per-rung Pareto frontier over"
+        " (slowdown, SRAM+LLC storage) among oracle-clean cells.",
+    ]
+    for trh in report.trh_ladder:
+        cells = sorted(
+            report.rung(trh),
+            key=lambda c: (not c.pareto, c.slowdown_percent),
+        )
+        lines.extend(
+            [
+                "",
+                f"## T_RH = {trh}",
+                "",
+                "| tracker | class | slowdown | SRAM | LLC | DRAM |"
+                " oracle |",
+                "|---|---|---|---|---|---|---|",
+            ]
+        )
+        for cell in cells:
+            star = " *" if cell.pareto else ""
+            verdict = cell.verdict
+            if cell.total_violations:
+                verdict += f" ({cell.total_violations} violations)"
+            lines.append(
+                f"| {cell.spec}{star} | {cell.security_class} |"
+                f" {cell.slowdown_percent:.2f}% |"
+                f" {_kib(cell.sram_bytes)} |"
+                f" {_kib(cell.llc_reserved_bytes)} |"
+                f" {_kib(cell.dram_reserved_bytes)} |"
+                f" {verdict} |"
+            )
+        frontier = report.pareto_frontier(trh)
+        if frontier:
+            lines.append("")
+            lines.append(
+                "Pareto frontier: "
+                + ", ".join(cell.spec for cell in frontier)
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def render_manifest(manifest_path: Path) -> str:
     """Markdown summary of a sweep manifest (``report --manifest``).
 

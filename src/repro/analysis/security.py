@@ -27,7 +27,15 @@ from repro.interfaces import ActivationTracker
 
 @dataclass(frozen=True)
 class SecurityViolation:
-    """One instance of a row exceeding the bound unmitigated."""
+    """One instance of a row exceeding the bound unmitigated.
+
+    ``activation_index`` is the 0-based position of the offending
+    activation in the *global* activation order the harness executed —
+    demand activations and §5.2.1 victim-refresh feedback activations
+    alike. Two violations therefore always carry distinct, strictly
+    increasing indices, even when both surface while draining one
+    mitigation's feedback cascade.
+    """
 
     row: int
     true_count: int
@@ -112,19 +120,28 @@ class SecurityHarness:
             if window_every and index and index % window_every == 0:
                 self.tracker.on_window_reset()
                 self.oracle.window_reset()
-            self._activate(row, index)
+            self._activate(row)
             if len(self.report.violations) >= self.max_violations:
                 break
         return self.report
 
     # ------------------------------------------------------------------
 
-    def _activate(self, row: int, index: int) -> None:
-        """One activation plus the tracker's full feedback cascade."""
+    def _activate(self, row: int) -> None:
+        """One activation plus the tracker's full feedback cascade.
+
+        Violations are stamped with the global activation counter
+        (``report.activations``), not the demand activation's position:
+        a feedback cascade executes several activations under one
+        demand index, and stamping them all with that index made
+        cascade violations indistinguishable and indices non-monotonic
+        in true activation order.
+        """
         pending = deque(((row, 0),))
         while pending:
             current, depth = pending.popleft()
             self.report.activations += 1
+            index = self.report.activations - 1
             count = self.oracle.record(current)
             response = self.tracker.on_activation(current)
             mitigated_rows = response.mitigate_rows if response else ()
@@ -158,9 +175,25 @@ def verify_tracker(
     threshold: int,
     window_every: Optional[int] = None,
     blast_radius: int = 2,
+    feed_mitigation_activations: bool = True,
+    max_violations: int = 16,
+    max_feedback_depth: int = 4,
 ) -> SecurityReport:
-    """Convenience wrapper: build a harness and run one sequence."""
+    """Convenience wrapper: build a harness and run one sequence.
+
+    Every harness knob is plumbed through — in particular
+    ``feed_mitigation_activations`` (disable the §5.2.1 victim-refresh
+    feedback) and ``max_feedback_depth``, which earlier versions of
+    this wrapper silently dropped, leaving callers unable to configure
+    the cascade without building a :class:`SecurityHarness` by hand.
+    """
     harness = SecurityHarness(
-        tracker, geometry, threshold, blast_radius=blast_radius
+        tracker,
+        geometry,
+        threshold,
+        blast_radius=blast_radius,
+        feed_mitigation_activations=feed_mitigation_activations,
+        max_violations=max_violations,
+        max_feedback_depth=max_feedback_depth,
     )
     return harness.run(sequence, window_every=window_every)

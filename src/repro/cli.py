@@ -10,6 +10,8 @@ Subcommands:
   tracker with its tunable parameters.
 - ``storage``       — print the Table 1/4/5 storage report.
 - ``security``      — run the attack-pattern security verification.
+- ``arena``         — race every registered tracker down a T_RH
+  ladder and print the slowdown / storage / security Pareto report.
 
 Everywhere a tracker is named (``--tracker``), a parameterized spec
 string is accepted too: ``hydra@trh=1000,rcc_kb=28``,
@@ -266,6 +268,48 @@ def _cmd_security(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _csv_ints(value: str) -> List[int]:
+    try:
+        return [int(item) for item in value.split(",") if item.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {value!r}"
+        )
+
+
+def _cmd_arena(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis.arena import (
+        DEFAULT_ARENA_WORKLOADS,
+        DEFAULT_TRH_LADDER,
+        run_arena,
+    )
+    from repro.analysis.report import render_arena
+
+    config = _config(args)
+    report = run_arena(
+        config,
+        trackers=args.trackers.split(",") if args.trackers else None,
+        trh_ladder=args.trh_ladder or DEFAULT_TRH_LADDER,
+        workloads=(
+            args.workloads.split(",")
+            if args.workloads
+            else DEFAULT_ARENA_WORKLOADS
+        ),
+        jobs=args.jobs,
+        manifest_path=args.manifest,
+    )
+    print(render_arena(report))
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        )
+        print(f"wrote {args.json_out}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import json
     import os
@@ -386,6 +430,50 @@ def build_parser() -> argparse.ArgumentParser:
     security = sub.add_parser("security", help="verify attack resilience")
     _add_common(security)
     security.set_defaults(func=_cmd_security)
+
+    arena = sub.add_parser(
+        "arena",
+        help="race every tracker down a T_RH ladder: slowdown /"
+        " storage / security Pareto report",
+    )
+    _add_common(arena)
+    arena.add_argument(
+        "--trh-ladder",
+        type=_csv_ints,
+        default=None,
+        metavar="T1,T2,...",
+        help="comma-separated T_RH rungs (default: 139000,20000,4800,"
+        "1000,500); --trh is ignored here",
+    )
+    arena.add_argument(
+        "--trackers",
+        default=None,
+        metavar="SPEC,SPEC,...",
+        help="comma-separated tracker specs (default: every registered"
+        " tracker)",
+    )
+    arena.add_argument(
+        "--workloads",
+        default=None,
+        metavar="W1,W2,...",
+        help="comma-separated workloads for the slowdown axis (default:"
+        " a representative 5-workload subset)",
+    )
+    arena.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="also write the full report (cells + frontiers) as JSON",
+    )
+    arena.add_argument(
+        "--manifest",
+        default=None,
+        metavar="FILE",
+        help="append grid provenance and arena-oracle verdict records"
+        " here (default: $REPRO_MANIFEST, or <cache>/manifest.jsonl"
+        " when REPRO_OBS=1)",
+    )
+    arena.set_defaults(func=_cmd_arena)
 
     exp = sub.add_parser(
         "experiment", help="run one named paper experiment (fig5, table1, ...)"

@@ -37,9 +37,11 @@ def obs_enabled() -> bool:
 from repro.obs.manifest import (  # noqa: E402
     MANIFEST_ENV_VAR,
     MANIFEST_SCHEMA_VERSION,
+    ArenaOracleRecord,
     ManifestRecord,
     ManifestWriter,
     make_record,
+    read_arena_records,
     read_manifest,
     resolve_manifest_path,
     summarize_manifest,
@@ -96,6 +98,7 @@ def observe_controller(controller) -> Observation:
 
 
 __all__ = [
+    "ArenaOracleRecord",
     "Counter",
     "Gauge",
     "Histogram",
@@ -114,6 +117,7 @@ __all__ = [
     "noop",
     "obs_enabled",
     "observe_controller",
+    "read_arena_records",
     "read_manifest",
     "resolve_manifest_path",
     "summarize_manifest",

@@ -49,6 +49,10 @@ class ManifestRecord:
     #: a cache load's wall time says nothing about simulation speed).
     throughput_rps: float = 0.0
     schema_version: int = MANIFEST_SCHEMA_VERSION
+    #: Record discriminator: manifests interleave grid-cell provenance
+    #: (``"cell"``) with other writers (e.g. the arena's
+    #: ``"arena-oracle"`` lines); readers dispatch on it.
+    kind: str = "cell"
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -58,6 +62,42 @@ class ManifestRecord:
         """Load one record, tolerating unknown (newer-writer) keys."""
         known = {f.name for f in fields(ManifestRecord)}
         return ManifestRecord(
+            **{k: v for k, v in data.items() if k in known}
+        )
+
+
+@dataclass(frozen=True)
+class ArenaOracleRecord:
+    """One arena security-oracle verdict: (tracker, T_RH, sequence).
+
+    Appended to the same JSON-lines manifest as grid-cell records
+    (``kind`` keeps the streams separable), so one file carries both
+    the performance provenance and the oracle outcomes of an arena
+    run.
+    """
+
+    spec: str
+    trh: int
+    security_class: str
+    sequence: str
+    secure: bool
+    violations: int
+    max_unmitigated: int
+    mitigations: int
+    activations: int
+    #: Whether the sequence could have driven any row past the
+    #: threshold at all — an unexercised "secure" verdict is vacuous.
+    exercised: bool
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+    kind: str = "arena-oracle"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "ArenaOracleRecord":
+        known = {f.name for f in fields(ArenaOracleRecord)}
+        return ArenaOracleRecord(
             **{k: v for k, v in data.items() if k in known}
         )
 
@@ -128,8 +168,38 @@ def read_manifest(
             continue
         try:
             data = json.loads(line)
+            if data.get("kind", "cell") != "cell":
+                # A different writer's stream (e.g. arena-oracle
+                # verdicts) — not this reader's business, not corrupt.
+                continue
             records.append(ManifestRecord.from_dict(data))
-        except (ValueError, TypeError):
+        except (ValueError, TypeError, AttributeError):
+            skipped += 1
+    return records, skipped
+
+
+def read_arena_records(
+    path: Union[str, Path]
+) -> Tuple[List[ArenaOracleRecord], int]:
+    """Load the arena-oracle verdict lines from a manifest.
+
+    Mirror of :func:`read_manifest` for ``kind == "arena-oracle"``
+    lines; everything else (grid cells included) is passed over
+    silently, and only unparseable lines count as skipped.
+    """
+    records: List[ArenaOracleRecord] = []
+    skipped = 0
+    text = Path(path).read_text(encoding="utf-8")
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+            if data.get("kind") != "arena-oracle":
+                continue
+            records.append(ArenaOracleRecord.from_dict(data))
+        except (ValueError, TypeError, AttributeError):
             skipped += 1
     return records, skipped
 

@@ -164,3 +164,14 @@ def table5_total_sram(config: SystemConfig) -> dict:
 @experiment("fn4")
 def fn4_randomized(config: SystemConfig) -> dict:
     return _tracker_sweep(config, ["hydra", "hydra-randomized"])
+
+
+@experiment("arena")
+def arena_pareto(config: SystemConfig) -> dict:
+    """Tracker arena: every registered tracker raced down the T_RH
+    ladder on slowdown / storage / security (see
+    :mod:`repro.analysis.arena`). The config's own ``trh`` is ignored
+    — the ladder spans the full range."""
+    from repro.analysis.arena import run_arena
+
+    return run_arena(config).to_dict()

@@ -2,9 +2,11 @@
 
 Functional trackers: Graphene (Misra-Gries CAM), CRA (DRAM counters +
 metadata cache), OCPR (exact per-row), PARA (probabilistic), D-CBF
-(dual counting Bloom filters). Storage-only analytic models for
-TWiCE/CAT live in :mod:`repro.trackers.storage` alongside the Table 1
-and Table 5 generators.
+(dual counting Bloom filters), plus the post-Hydra successors raced in
+the arena: CoMeT (count-min sketch), MINT (in-DRAM random sampling),
+and START (LLC-resident escalating counters). Storage-only analytic
+models for TWiCE/CAT live in :mod:`repro.trackers.storage` alongside
+the Table 1 and Table 5 generators.
 """
 
 from repro.trackers.base import (
@@ -15,14 +17,17 @@ from repro.trackers.base import (
     merge_responses,
 )
 from repro.trackers.cat import CatTracker
+from repro.trackers.comet import CometTracker, comet_counters_per_hash
 from repro.trackers.cra import CraTracker, LineMetadataCache
 from repro.trackers.dcbf import CountingBloomFilter, DcbfTracker
 from repro.trackers.graphene import GrapheneTracker, graphene_entries_per_bank
 from repro.trackers.insecure import MrlocTracker, ProhitTracker
+from repro.trackers.mint import MintTracker, mint_interval_slots
 from repro.trackers.mithril import MithrilTracker
 from repro.trackers.ocpr import OcprTracker
 from repro.trackers.para import ParaTracker, para_probability
 from repro.trackers.registry import (
+    SECURITY_CLASSES,
     Param,
     TrackerContext,
     TrackerInfo,
@@ -34,6 +39,7 @@ from repro.trackers.registry import (
     register_tracker,
     tracker_info,
 )
+from repro.trackers.start import StartTracker, start_lines_per_bank
 from repro.trackers.twice import TwiceTracker
 from repro.trackers.storage import (
     RANK_GEOMETRY,
@@ -45,12 +51,14 @@ from repro.trackers.storage import (
 __all__ = [
     "ActivationTracker",
     "CatTracker",
+    "CometTracker",
     "CountingBloomFilter",
     "CraTracker",
     "DcbfTracker",
     "GrapheneTracker",
     "LineMetadataCache",
     "MetaAccess",
+    "MintTracker",
     "MithrilTracker",
     "MrlocTracker",
     "NullTracker",
@@ -59,6 +67,8 @@ __all__ = [
     "OcprTracker",
     "ParaTracker",
     "RANK_GEOMETRY",
+    "SECURITY_CLASSES",
+    "StartTracker",
     "StorageRow",
     "TrackerContext",
     "TrackerInfo",
@@ -68,10 +78,13 @@ __all__ = [
     "available_trackers",
     "build_tracker",
     "canonical_spec",
+    "comet_counters_per_hash",
     "graphene_entries_per_bank",
     "merge_responses",
+    "mint_interval_slots",
     "para_probability",
     "parse_spec",
+    "start_lines_per_bank",
     "register_tracker",
     "storage_table",
     "total_sram_table",

@@ -120,6 +120,7 @@ class DcbfTracker(ActivationTracker):
 @register_tracker(
     "dcbf",
     summary="dual counting Bloom filters with delay-based mitigation",
+    security_class="rate-control",
     params={
         "counters_per_filter": Param(
             int, help="CBF width (default: 2^18 scaled with the system)"

@@ -55,6 +55,16 @@ class _SpaceSavingTable:
         self._insert(row, new_count)
         return new_count
 
+    def floor(self) -> int:
+        """The spillover floor: the minimum count among tabled rows.
+
+        This is the count a newly inserted row inherits (plus one) when
+        the table is full, and the value Graphene resets a mitigated
+        row's estimate to. Public accessor so trackers built on this
+        table never reach into ``_min_count``. Zero on an empty table.
+        """
+        return self._min_count
+
     def reset_row(self, row: int, value: int) -> None:
         """After mitigation, drop the row's estimate to ``value``."""
         count = self.counts.get(row)
@@ -142,7 +152,7 @@ class GrapheneTracker(ActivationTracker):
         if estimate >= self.threshold:
             # Reset to the current spillover floor, as Graphene does,
             # so repeated hammering keeps re-triggering mitigation.
-            table.reset_row(row_id, table._min_count)
+            table.reset_row(row_id, table.floor())
             self.mitigations += 1
             return TrackerResponse(mitigate_rows=(row_id,))
         return None

@@ -162,6 +162,7 @@ class ProhitTracker(ActivationTracker):
 @register_tracker(
     "mrloc",
     summary="locality-adaptive probabilistic refresh (known-bypassable)",
+    security_class="insecure",
     params={
         "queue_entries": Param(int, 16, "recent-victim queue length"),
         "base_probability": Param(float, 0.002, "baseline refresh probability"),
@@ -187,6 +188,7 @@ def _mrloc_from_context(
 @register_tracker(
     "prohit",
     summary="probabilistic hot/cold tables (known-bypassable)",
+    security_class="insecure",
     params={
         "hot_entries": Param(int, 4, "hot-table entries"),
         "cold_entries": Param(int, 8, "cold-table entries"),

@@ -70,7 +70,7 @@ class MithrilTracker(ActivationTracker):
         # the next RFM slot (the estimate only overestimates, so this
         # only ever fires early, never late).
         if estimate >= self.threshold:
-            table.reset_row(row_id, table._min_count)
+            table.reset_row(row_id, table.floor())
             self.mitigations += 1
             return TrackerResponse(mitigate_rows=(row_id,))
         if self._acts_since_rfm[bank] >= self.rfm_interval:
@@ -78,7 +78,7 @@ class MithrilTracker(ActivationTracker):
             self.rfm_commands += 1
             if table.counts:
                 hottest = max(table.counts, key=table.counts.__getitem__)
-                table.reset_row(hottest, table._min_count)
+                table.reset_row(hottest, table.floor())
                 self.mitigations += 1
                 return TrackerResponse(mitigate_rows=(hottest,))
         return None

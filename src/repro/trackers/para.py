@@ -77,6 +77,7 @@ class ParaTracker(ActivationTracker):
 @register_tracker(
     "para",
     summary="stateless probabilistic mitigation (PARA)",
+    security_class="probabilistic",
     params={
         "probability": Param(
             float, help="per-ACT mitigation probability (default: from trh)"

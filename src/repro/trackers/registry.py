@@ -155,6 +155,28 @@ class Param:
     choices: Optional[Tuple[Any, ...]] = None
 
 
+#: Security classes a tracker may declare. The arena's oracle verdicts
+#: are interpreted against this claim:
+#:
+#: - ``deterministic``: provably mitigates every row at or before the
+#:   tracking threshold — the oracle must report zero violations on
+#:   *any* sequence, adversarial ones included.
+#: - ``probabilistic``: secure with high probability per window
+#:   (PARA-style sampling); individual oracle runs may show violations
+#:   at very low thresholds without contradicting the design.
+#: - ``rate-control``: mitigates by *delaying* activations rather than
+#:   refreshing victims, so the activation-count oracle (which models
+#:   no timing) cannot certify it; judged on slowdown/storage only.
+#: - ``insecure``: known-breakable designs kept as negative controls —
+#:   the oracle is expected to find violations.
+SECURITY_CLASSES = (
+    "deterministic",
+    "probabilistic",
+    "rate-control",
+    "insecure",
+)
+
+
 @dataclass(frozen=True)
 class TrackerInfo:
     """One registered tracker: its builder and parameter schema."""
@@ -163,6 +185,9 @@ class TrackerInfo:
     builder: Callable[..., ActivationTracker]
     params: Mapping[str, Param] = field(default_factory=dict)
     summary: str = ""
+    #: One of :data:`SECURITY_CLASSES` (the design's *claim*, which
+    #: the arena's oracle verdicts are checked against).
+    security_class: str = "deterministic"
 
 
 _REGISTRY: Dict[str, TrackerInfo] = {}
@@ -188,6 +213,7 @@ def register_tracker(
     *,
     params: Optional[Mapping[str, Param]] = None,
     summary: str = "",
+    security_class: str = "deterministic",
 ) -> Callable[[Callable[..., ActivationTracker]], Callable[..., ActivationTracker]]:
     """Class/function decorator adding one tracker to the registry.
 
@@ -201,12 +227,21 @@ def register_tracker(
             raise ValueError(
                 f"parameter {reserved!r} is universal and cannot be redeclared"
             )
+    if security_class not in SECURITY_CLASSES:
+        raise ValueError(
+            f"unknown security class {security_class!r}; expected one of "
+            + ", ".join(SECURITY_CLASSES)
+        )
 
     def decorate(builder: Callable[..., ActivationTracker]):
         if name in _REGISTRY:
             raise ValueError(f"tracker {name!r} registered twice")
         _REGISTRY[name] = TrackerInfo(
-            name=name, builder=builder, params=schema, summary=summary
+            name=name,
+            builder=builder,
+            params=schema,
+            summary=summary,
+            security_class=security_class,
         )
         return builder
 
@@ -359,6 +394,10 @@ def build_tracker(
     return info.builder(context, **params)
 
 
-@register_tracker("baseline", summary="no tracking, no mitigation (insecure)")
+@register_tracker(
+    "baseline",
+    summary="no tracking, no mitigation (insecure)",
+    security_class="insecure",
+)
 def _baseline_from_context(ctx: TrackerContext) -> NullTracker:
     return NullTracker()

@@ -155,6 +155,139 @@ class TestHarnessMechanics:
             SecurityHarness(make_hydra(), GEOMETRY, 0)
 
 
+class _MitigateTargetEvery:
+    """Stub tracker: mitigates ``target`` on every ``every``-th hit.
+
+    Minimal hand-rolled tracker (not registered) used to force a
+    mitigation — and hence a §5.2.1 feedback cascade — at a precisely
+    known point in the activation sequence.
+    """
+
+    name = "stub"
+
+    def __init__(self, target: int, every: int) -> None:
+        self.target = target
+        self.every = every
+        self._hits = 0
+
+    def on_activation(self, row_id):
+        from repro.interfaces import TrackerResponse
+
+        if row_id != self.target:
+            return None
+        self._hits += 1
+        if self._hits % self.every == 0:
+            return TrackerResponse(mitigate_rows=(row_id,))
+        return None
+
+    def on_window_reset(self):
+        return None
+
+    def sram_bytes(self):
+        return 0
+
+
+class TestCascadeViolationIndices:
+    """Regression: cascade violations carry *global* activation indices.
+
+    The harness used to stamp every violation surfaced while draining
+    one mitigation's feedback cascade with the demand activation's
+    ``enumerate`` index, making two cascade violations indistinguishable
+    and indices non-monotonic in true activation order.
+    """
+
+    def _cascade_report(self, **harness_kwargs):
+        # Prime rows 9 and 11 to exactly TH counts, then hit row 10
+        # three times; the stub mitigates on the 3rd hit, and the
+        # feedback activations of victims 8, 9, 11, 12 push rows 9 and
+        # 11 over the threshold *inside the cascade*.
+        sequence = [9] * TH + [11] * TH + [10, 10, 10]
+        harness = SecurityHarness(
+            _MitigateTargetEvery(target=10, every=3),
+            GEOMETRY,
+            TH,
+            **harness_kwargs,
+        )
+        return harness.run(sequence)
+
+    def test_cascade_violations_have_distinct_increasing_indices(self):
+        report = self._cascade_report()
+        assert [v.row for v in report.violations] == [9, 11]
+        indices = [v.activation_index for v in report.violations]
+        assert len(set(indices)) == len(indices)
+        assert indices == sorted(indices)
+        # Both violations happened during feedback, i.e. *after* the
+        # last demand activation (2*TH + 3 demand activations, 0-based
+        # indices 0..2*TH+2). The buggy code stamped both with the
+        # demand index 2*TH + 2.
+        demand_activations = 2 * TH + 3
+        assert all(i >= demand_activations for i in indices)
+
+    def test_index_matches_global_activation_order(self):
+        report = self._cascade_report()
+        # Feedback victims execute in neighbor order 8, 9, 11, 12 right
+        # after the 103 demand activations: global indices 103..106.
+        demand = 2 * TH + 3
+        assert [v.activation_index for v in report.violations] == [
+            demand + 1,  # row 9 (second feedback activation, after row 8)
+            demand + 2,  # row 11
+        ]
+        assert report.activations == demand + 4
+
+    def test_disabling_feedback_suppresses_cascade_violations(self):
+        report = self._cascade_report(feed_mitigation_activations=False)
+        assert report.secure
+        assert report.victim_refreshes == 4
+        assert report.activations == 2 * TH + 3
+
+
+class TestVerifyTrackerKnobs:
+    """Regression: ``verify_tracker`` plumbs every harness knob."""
+
+    def _sequence(self):
+        return [9] * TH + [11] * TH + [10, 10, 10]
+
+    def test_feed_mitigation_activations_plumbed(self):
+        tracker = _MitigateTargetEvery(target=10, every=3)
+        report = verify_tracker(
+            tracker,
+            GEOMETRY,
+            self._sequence(),
+            TH,
+            feed_mitigation_activations=False,
+        )
+        assert report.secure
+        assert report.activations == 2 * TH + 3
+
+    def test_max_feedback_depth_plumbed(self):
+        # Depth 0 means feedback victims are never enqueued, which is
+        # observationally equivalent to disabling feedback entirely.
+        tracker = _MitigateTargetEvery(target=10, every=3)
+        report = verify_tracker(
+            tracker, GEOMETRY, self._sequence(), TH, max_feedback_depth=0
+        )
+        assert report.secure
+        assert report.activations == 2 * TH + 3
+
+    def test_max_violations_plumbed(self):
+        from repro.interfaces import NullTracker
+
+        report = verify_tracker(
+            NullTracker(),
+            GEOMETRY,
+            attacks.single_sided(5, 10_000),
+            TH,
+            max_violations=2,
+        )
+        assert len(report.violations) == 2
+
+    def test_defaults_keep_feedback_enabled(self):
+        tracker = _MitigateTargetEvery(target=10, every=3)
+        report = verify_tracker(tracker, GEOMETRY, self._sequence(), TH)
+        assert not report.secure
+        assert [v.row for v in report.violations] == [9, 11]
+
+
 class TestRandomizedProperty:
     @given(
         st.lists(

@@ -8,9 +8,11 @@ from repro.obs import (
     MANIFEST_ENV_VAR,
     MANIFEST_SCHEMA_VERSION,
     OBS_ENV_VAR,
+    ArenaOracleRecord,
     ManifestRecord,
     ManifestWriter,
     make_record,
+    read_arena_records,
     read_manifest,
     resolve_manifest_path,
     summarize_manifest,
@@ -98,6 +100,75 @@ class TestWriterAndReader:
         loaded, skipped = read_manifest(path)
         assert len(loaded) == 2
         assert skipped == 2  # the garbage line and the key-less dict
+
+
+def arena_record(**overrides) -> ArenaOracleRecord:
+    base = dict(
+        spec="comet",
+        trh=1000,
+        security_class="deterministic",
+        sequence="single",
+        secure=True,
+        violations=0,
+        max_unmitigated=499,
+        mitigations=2,
+        activations=1258,
+        exercised=True,
+    )
+    base.update(overrides)
+    return ArenaOracleRecord(**base)
+
+
+class TestInterleavedStreams:
+    """One manifest file carries grid cells AND arena-oracle lines."""
+
+    def test_readers_split_the_streams(self, tmp_path):
+        path = tmp_path / "manifest.jsonl"
+        writer = ManifestWriter(path)
+        writer.append([record()])
+        writer.append([arena_record(), arena_record(sequence="many")])
+        writer.append([record(workload="mcf")])
+        cells, cell_skipped = read_manifest(path)
+        arena, arena_skipped = read_arena_records(path)
+        assert [r.workload for r in cells] == ["xz", "mcf"]
+        assert cell_skipped == 0
+        assert [r.sequence for r in arena] == ["single", "many"]
+        assert arena_skipped == 0
+
+    def test_arena_lines_are_not_corrupt_cells(self, tmp_path):
+        """Foreign-kind lines must not count toward the skip total —
+        they are a sibling stream, not damage."""
+        path = tmp_path / "manifest.jsonl"
+        ManifestWriter(path).append([arena_record()])
+        cells, skipped = read_manifest(path)
+        assert cells == []
+        assert skipped == 0
+
+    def test_arena_reader_ignores_cells_and_counts_garbage(self, tmp_path):
+        path = tmp_path / "manifest.jsonl"
+        ManifestWriter(path).append([record(), arena_record()])
+        with path.open("a") as handle:
+            handle.write("not json\n")
+        arena, skipped = read_arena_records(path)
+        assert len(arena) == 1
+        assert skipped == 1
+
+    def test_arena_record_roundtrip(self):
+        rec = arena_record(secure=False, violations=3)
+        loaded = ArenaOracleRecord.from_dict(rec.to_dict())
+        assert loaded == rec
+        assert loaded.kind == "arena-oracle"
+
+    def test_arena_record_tolerates_newer_keys(self):
+        data = arena_record().to_dict()
+        data["future_field"] = 1
+        assert ArenaOracleRecord.from_dict(data) == arena_record()
+
+    def test_summarize_sees_only_cells(self, tmp_path):
+        path = tmp_path / "manifest.jsonl"
+        ManifestWriter(path).append([record(), arena_record()])
+        cells, _ = read_manifest(path)
+        assert summarize_manifest(cells)["cells"] == 1
 
 
 class TestSummarize:

@@ -1,0 +1,141 @@
+"""Tests for the CoMeT (count-min sketch + RAT) tracker."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.timing import DramGeometry
+from repro.trackers.comet import (
+    CometTracker,
+    _CountMinSketch,
+    comet_counters_per_hash,
+)
+
+GEOMETRY = DramGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    banks_per_rank=2,
+    rows_per_bank=1024,
+    row_size_bytes=256,
+)
+
+
+class TestCountMinSketch:
+    def test_estimate_tracks_single_key(self):
+        sketch = _CountMinSketch(width=64, saturation=1000)
+        for expected in range(1, 20):
+            assert sketch.record(7) == expected
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=200), min_size=1, max_size=500
+        )
+    )
+    @settings(max_examples=60)
+    def test_min_counter_never_underestimates(self, rows):
+        """The CMS soundness property CoMeT's mitigation rests on."""
+        sketch = _CountMinSketch(width=16, saturation=10_000)
+        true = {}
+        for row in rows:
+            estimate = sketch.record(row)
+            true[row] = true.get(row, 0) + 1
+            assert estimate >= true[row]
+
+    def test_counters_saturate(self):
+        sketch = _CountMinSketch(width=8, saturation=5)
+        for _ in range(50):
+            estimate = sketch.record(3)
+        assert estimate == 5
+
+    def test_clear(self):
+        sketch = _CountMinSketch(width=8, saturation=100)
+        sketch.record(1)
+        sketch.clear()
+        assert sketch.record(1) == 1
+
+
+class TestSizing:
+    def test_paper_design_point(self):
+        """512 counters per hash per bank at the paper's T_RH = 1000."""
+        assert comet_counters_per_hash(1000) == 512
+
+    def test_width_doubles_as_threshold_halves(self):
+        assert comet_counters_per_hash(500) == 1024
+        assert comet_counters_per_hash(250) == 2048
+
+    def test_width_shrinks_at_high_thresholds(self):
+        assert comet_counters_per_hash(139_000) == 64
+
+    def test_width_is_power_of_two(self):
+        for trh in (125, 300, 500, 777, 4800, 139_000):
+            width = comet_counters_per_hash(trh)
+            assert width & (width - 1) == 0
+
+    def test_rejects_bad_trh(self):
+        with pytest.raises(ValueError):
+            comet_counters_per_hash(0)
+
+
+class TestTrackerBehaviour:
+    def make(self, trh=100, **kwargs) -> CometTracker:
+        return CometTracker(GEOMETRY, trh=trh, **kwargs)
+
+    def test_mitigates_at_half_trh(self):
+        tracker = self.make(trh=100)
+        responses = [tracker.on_activation(5) for _ in range(50)]
+        assert responses[-1].mitigate_rows == (5,)
+        assert all(r is None for r in responses[:-1])
+
+    def test_rat_takes_over_after_first_mitigation(self):
+        """Post-mitigation the row counts exactly in the RAT, so the
+        next mitigation comes after another full threshold of acts —
+        not immediately off the saturated sketch."""
+        tracker = self.make(trh=100)
+        for _ in range(50):
+            tracker.on_activation(5)
+        assert tracker.rat_mitigations == 0
+        responses = [tracker.on_activation(5) for _ in range(50)]
+        assert all(r is None for r in responses[:-1])
+        assert responses[-1].mitigate_rows == (5,)
+        assert tracker.rat_mitigations == 1
+        assert tracker.rat_hits == 50
+
+    def test_rat_eviction_is_conservative(self):
+        """An evicted row falls back to its saturated sketch estimate
+        and re-mitigates within one activation — early, never late."""
+        tracker = self.make(trh=100, rat_entries=1)
+        for _ in range(50):
+            tracker.on_activation(5)  # row 5 mitigated, in RAT
+        for _ in range(50):
+            tracker.on_activation(700)  # row 700 mitigated, evicts 5
+        assert tracker.rat_evictions == 1
+        response = tracker.on_activation(5)
+        assert response is not None and response.mitigate_rows == (5,)
+
+    def test_per_bank_sketches_are_independent(self):
+        tracker = self.make(trh=100)
+        other_bank_row = GEOMETRY.rows_per_bank + 5
+        for _ in range(49):
+            tracker.on_activation(5)
+        assert tracker.on_activation(other_bank_row) is None
+
+    def test_window_reset_forgets(self):
+        tracker = self.make(trh=100)
+        for _ in range(49):
+            tracker.on_activation(5)
+        tracker.on_window_reset()
+        assert tracker.on_activation(5) is None
+
+    def test_sram_scales_with_width(self):
+        small = self.make(trh=100, counters_per_hash=256)
+        large = self.make(trh=100, counters_per_hash=1024)
+        assert large.sram_bytes() > small.sram_bytes()
+
+    def test_extra_stats_keys(self):
+        stats = self.make().extra_stats()
+        assert "rat_hits" in stats
+        assert "sketch_mitigations" in stats
+
+    def test_rejects_bad_rat(self):
+        with pytest.raises(ValueError):
+            self.make(rat_entries=0)

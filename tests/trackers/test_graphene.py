@@ -78,6 +78,64 @@ class TestSpaceSavingTable:
             table.record(row)
             assert len(table.counts) <= 4
 
+    def test_floor_is_public_and_tracks_minimum(self):
+        table = _SpaceSavingTable(capacity=2)
+        assert table.floor() == 0  # empty table
+        table.record(1)
+        table.record(1)
+        table.record(2)
+        assert table.floor() == 1
+        table.record(3)  # evicts row 2, inherits min + 1 = 2
+        assert table.floor() == 2
+        table.clear()
+        assert table.floor() == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["record", "reset", "clear"]),
+                st.integers(min_value=0, max_value=20),
+            ),
+            min_size=1,
+            max_size=400,
+        )
+    )
+    @settings(max_examples=80)
+    def test_invariants_under_mixed_churn(self, ops):
+        """Pin the two Space-Saving invariants under arbitrary
+        interleavings of insert, evict, mitigation-reset, and clear:
+
+        1. a *resident* row's tabled estimate >= its true count since
+           its last reset/clear (the soundness guarantee); and
+        2. ``floor()`` equals the minimum tabled count at all times
+           (the bucket-queue bookkeeping Graphene's reset relies on).
+        """
+        table = _SpaceSavingTable(capacity=3)
+        true = {}
+        for op, row in ops:
+            if op == "record":
+                estimate = table.record(row)
+                true[row] = true.get(row, 0) + 1
+                assert estimate >= true[row]
+            elif op == "reset":
+                # Mirrors GrapheneTracker's post-mitigation reset: the
+                # true count restarts from zero alongside the estimate.
+                table.reset_row(row, table.floor())
+                if row in table.counts:
+                    true[row] = 0
+            else:  # clear
+                table.clear()
+                true.clear()
+            # Invariant 2: floor == minimum resident count (0 if empty).
+            if table.counts:
+                assert table.floor() == min(table.counts.values())
+            else:
+                assert table.floor() == 0
+            # Invariant 1 for every resident row, not just the touched
+            # one: churn must never degrade an existing overestimate.
+            for resident, estimate in table.counts.items():
+                assert estimate >= true.get(resident, 0)
+
 
 class TestSizing:
     def test_paper_entry_count_at_500(self):

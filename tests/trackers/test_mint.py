@@ -1,0 +1,94 @@
+"""Tests for the MINT (single-entry in-DRAM sampler) tracker."""
+
+import pytest
+
+from repro.dram.timing import DramGeometry, DramTiming
+from repro.trackers.mint import MintTracker, mint_interval_slots
+
+GEOMETRY = DramGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    banks_per_rank=2,
+    rows_per_bank=1024,
+    row_size_bytes=256,
+)
+
+
+class TestIntervalArithmetic:
+    def test_ddr4_slots_per_trefi(self):
+        """tREFI / tRC = 7800 / 45 -> 173 activation slots."""
+        assert mint_interval_slots(DramTiming()) == 173
+
+    def test_never_zero(self):
+        timing = DramTiming()
+        assert mint_interval_slots(timing) >= 1
+
+
+class TestTrackerBehaviour:
+    def make(self, interval_slots=8, seed=1) -> MintTracker:
+        return MintTracker(
+            GEOMETRY, interval_slots=interval_slots, seed=seed
+        )
+
+    def test_one_mitigation_per_busy_interval(self):
+        tracker = self.make(interval_slots=8)
+        mitigated = []
+        for i in range(80):
+            response = tracker.on_activation(5)
+            if response:
+                mitigated.extend(response.mitigate_rows)
+        assert tracker.intervals == 10
+        # Single-row hammering: every selected slot holds row 5.
+        assert mitigated == [5] * 10
+
+    def test_selected_row_follows_slot(self):
+        """With two rows alternating, the mitigated row is whichever
+        occupied the randomly selected slot — always one of the two."""
+        tracker = self.make(interval_slots=8)
+        mitigated = []
+        for i in range(800):
+            response = tracker.on_activation(5 if i % 2 == 0 else 9)
+            if response:
+                mitigated.extend(response.mitigate_rows)
+        assert mitigated
+        assert set(mitigated) <= {5, 9}
+
+    def test_banks_sample_independently(self):
+        tracker = self.make(interval_slots=8)
+        other = GEOMETRY.rows_per_bank + 7
+        for _ in range(8):
+            tracker.on_activation(5)
+        assert tracker.intervals == 1
+        # The other bank's interval is still mid-flight.
+        for _ in range(7):
+            assert tracker.on_activation(other) is None
+        response = tracker.on_activation(other)
+        assert response is not None and response.mitigate_rows == (other,)
+
+    def test_deterministic_under_seed(self):
+        runs = []
+        for _ in range(2):
+            tracker = self.make(interval_slots=16, seed=42)
+            log = []
+            for i in range(160):
+                response = tracker.on_activation(i % 7)
+                log.append(response.mitigate_rows if response else None)
+            runs.append(log)
+        assert runs[0] == runs[1]
+
+    def test_window_reset_restarts_intervals(self):
+        tracker = self.make(interval_slots=8)
+        for _ in range(5):
+            tracker.on_activation(5)
+        tracker.on_window_reset()
+        for _ in range(7):
+            assert tracker.on_activation(5) is None
+
+    def test_sram_is_a_few_bytes_per_bank(self):
+        """The minimalist point: orders below any SRAM tracker."""
+        tracker = MintTracker(GEOMETRY)
+        assert tracker.sram_bytes() <= 8 * GEOMETRY.total_banks
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            self.make(interval_slots=0)
