@@ -39,13 +39,32 @@ Entry points: ``hydra-sim arena`` and the ``arena`` named experiment.
 
 from __future__ import annotations
 
-import random
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.security import verify_tracker
+from repro.analysis.verdicts import judge_verdict, oracle_eligible
+from repro.attacks.compile import (
+    CompiledAttack,
+    compile_program,
+    exercised_within,
+)
+from repro.attacks.programs import (
+    DEFAULT_MANY_AGGRESSORS as MANY_AGGRESSORS,
+    MANY_ACT_CAP,
+    RANDOM_ACT_CAP,
+    RANDOM_SEED,
+)
+from repro.attacks.registry import (
+    AttackContext,
+    build_attack,
+    canonical_attack_spec,
+    compile_attack,
+)
+from repro.attacks.resolve import resolve
+from repro.dram.timing import PAPER_GEOMETRY
 from repro.obs.manifest import ArenaOracleRecord, ManifestWriter
 from repro.sim.config import SystemConfig, resolve_jobs
 from repro.sim.sweep import ExperimentRunner
@@ -56,7 +75,6 @@ from repro.trackers.registry import (
     parse_spec,
     tracker_info,
 )
-from repro.workloads import attacks
 
 #: T_RH rungs raced by default: JEDEC-era 139K (the paper's §2 upper
 #: anchor) down through the Figure-7 regime to the ultra-low 500.
@@ -66,73 +84,104 @@ DEFAULT_TRH_LADDER = (139_000, 20_000, 4_800, 1_000, 500)
 #: behaviour family: memory-bound SPEC-int/fp, streaming, GUPS).
 DEFAULT_ARENA_WORKLOADS = ("mcf", "lbm", "xz", "stream", "GUPS")
 
-#: Oracle battery sequence names (see :func:`oracle_sequence`).
+#: Oracle battery sequence names (see :func:`oracle_sequence`). Each is
+#: an alias for a registered attack program whose defaults reproduce
+#: the historical hand-built battery exactly; ``run_arena`` also
+#: accepts full attack specs (``half_double@victim=4000``) here.
 ORACLE_SEQUENCES = ("single", "many", "random")
 
-#: Many-sided battery shape: enough aggressors to overflow small
-#: recent-row queues (MRLoc keeps 16), bounded in total activations so
-#: high rungs stay tractable.
-MANY_AGGRESSORS = 18
-MANY_ACT_CAP = 400_000
-RANDOM_ACT_CAP = 120_000
-RANDOM_SEED = 0xA12E5A
+#: Battery alias → registered attack (context defaults do the sizing).
+BATTERY_ATTACKS = {
+    "single": "single_sided",
+    "many": "many_sided",
+    "random": "random",
+}
+
+
+def oracle_attack(
+    name: str, trh: int, total_rows: int, act_max: int
+) -> Tuple[CompiledAttack, bool]:
+    """Build one battery attack; returns ``(compiled, exercised)``.
+
+    ``exercised`` says whether the attack can drive some row past the
+    T_RH/2 mitigation threshold *within one tracking window* of
+    ``act_max`` activations — the harness resets every window, so a
+    "secure" verdict on an unexercised attack is vacuous and is
+    reported as such. At small simulation scales the scaled window
+    shrinks while thresholds stay invariant, so high rungs can become
+    unexercisable — the flag keeps those cells honest. It is computed
+    by exact replay (:func:`~repro.attacks.compile.exercised_within`)
+    rather than per-pattern arithmetic.
+
+    The battery is resolved *without* geometry bounds-checking: its
+    fixed aggressor rows (5, 200..217) predate the DSL and must keep
+    probing trackers identically even at simulation scales whose row
+    space is smaller.
+    """
+    try:
+        spec = BATTERY_ATTACKS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown oracle sequence {name!r}; available: "
+            + ", ".join(ORACLE_SEQUENCES)
+        ) from None
+    context = _battery_context(trh, total_rows)
+    program = build_attack(spec, context)
+    compiled = compile_program(resolve(program))
+    exercised = exercised_within(compiled, context.threshold, act_max)
+    return compiled, exercised
+
+
+def _battery_context(trh: int, total_rows: int) -> AttackContext:
+    """A context carrying exactly the knobs the battery sizes against
+    (threshold from ``trh``, row span from ``total_rows``)."""
+    geometry = replace(
+        PAPER_GEOMETRY,
+        channels=1,
+        ranks_per_channel=1,
+        banks_per_rank=1,
+        rows_per_bank=max(1, total_rows),
+    )
+    return AttackContext(geometry=geometry, trh=trh)
 
 
 def oracle_sequence(
     name: str, trh: int, total_rows: int, act_max: int
 ) -> Tuple[List[int], bool]:
-    """Build one battery sequence; returns ``(rows, exercised)``.
+    """Flat-list form of :func:`oracle_attack` (compatibility shim)."""
+    compiled, exercised = oracle_attack(name, trh, total_rows, act_max)
+    return compiled.rows(), exercised
 
-    ``exercised`` says whether the sequence can drive some row past
-    the T_RH/2 mitigation threshold *within one tracking window* of
-    ``act_max`` activations — the harness resets every window, so a
-    "secure" verdict on an unexercised sequence is vacuous and is
-    reported as such. At small simulation scales the scaled window
-    shrinks while thresholds stay invariant, so high rungs can become
-    unexercisable — the flag keeps those cells honest.
-    """
-    threshold = max(1, trh // 2)
-    if name == "single":
-        # 2.5x the threshold: crosses it twice even with one mitigation.
-        length = int(2.5 * threshold) + 8
-        return attacks.single_sided(5, length), min(length, act_max) > threshold
-    if name == "many":
-        rounds = int(1.25 * threshold) + 8
-        cap = MANY_ACT_CAP // MANY_AGGRESSORS
-        if rounds > cap:
-            # Capped below the threshold it can no longer exceed —
-            # shrink to sanity size rather than burn the full cap.
-            rounds = min(cap, 2048)
-        aggressors = [200 + i for i in range(MANY_AGGRESSORS)]
-        per_window = min(rounds, act_max // MANY_AGGRESSORS)
-        return (
-            attacks.many_sided(aggressors, rounds),
-            per_window > threshold,
+
+def _cell_attack(
+    cfg: SystemConfig, trh: int, sequence_name: str
+) -> Tuple[CompiledAttack, bool, str]:
+    """(compiled, exercised, label) for a battery alias or attack spec."""
+    act_max = cfg.timing.max_activations_per_window()
+    if sequence_name in BATTERY_ATTACKS:
+        compiled, exercised = oracle_attack(
+            sequence_name, trh, cfg.geometry.total_rows, act_max
         )
-    if name == "random":
-        rng = random.Random(RANDOM_SEED)
-        span = max(1, min(4096, total_rows))
-        length = min(4 * threshold, RANDOM_ACT_CAP)
-        return [rng.randrange(span) for _ in range(length)], False
-    raise ValueError(
-        f"unknown oracle sequence {name!r}; available: "
-        + ", ".join(ORACLE_SEQUENCES)
-    )
+        return compiled, exercised, sequence_name
+    context = AttackContext.from_system(cfg)
+    compiled = compile_attack(sequence_name, context)
+    exercised = exercised_within(compiled, context.threshold, act_max)
+    return compiled, exercised, canonical_attack_spec(sequence_name)
 
 
 def _oracle_cell(
     config: SystemConfig, spec: str, trh: int, sequence_name: str
 ) -> Dict[str, Any]:
-    """Pool-worker work unit: one (tracker, T_RH, sequence) verdict.
+    """Pool-worker work unit: one (tracker, T_RH, attack) verdict.
 
-    Builds both the sequence and the tracker from picklable inputs so
-    fan-out ships only (config, spec, trh, name) per cell.
+    ``sequence_name`` is a battery alias (``single``/``many``/
+    ``random``) or a full attack spec; the attack program and the
+    tracker are both built from picklable inputs so fan-out ships only
+    (config, spec, trh, name) per cell.
     """
     cfg = config.with_trh(trh)
     act_max = cfg.timing.max_activations_per_window()
-    sequence, exercised = oracle_sequence(
-        sequence_name, trh, cfg.geometry.total_rows, act_max
-    )
+    sequence, exercised, label = _cell_attack(cfg, trh, sequence_name)
     tracker = build_tracker(spec, cfg.tracker_context())
     report = verify_tracker(
         tracker,
@@ -151,7 +200,7 @@ def _oracle_cell(
     return {
         "spec": spec,
         "trh": trh,
-        "sequence": sequence_name,
+        "sequence": label,
         "exercised": exercised,
         "secure": report.secure,
         "violations": len(report.violations),
@@ -219,27 +268,17 @@ class ArenaCell:
 
     @property
     def verdict(self) -> str:
-        """Oracle outcome interpreted against the declared class."""
-        if self.security_class == "rate-control":
-            return "n/a"
-        if self.security_class == "insecure":
-            if self.total_violations:
-                return "breaks (expected)"
-            return "survives" if self.exercised else "not exercised"
-        if self.total_violations == 0:
-            return "secure" if self.exercised else "not exercised"
-        if self.security_class == "probabilistic":
-            return "violations (by design)"
-        return "INSECURE"
+        """Oracle outcome interpreted against the declared class (the
+        shared judge in :mod:`repro.analysis.verdicts`)."""
+        return judge_verdict(
+            self.security_class, self.total_violations, self.exercised
+        )
 
     @property
     def oracle_eligible(self) -> bool:
         """Whether this cell may enter the Pareto frontier: the oracle
         found nothing and the tracker is not a negative control."""
-        return (
-            self.security_class != "insecure"
-            and self.total_violations == 0
-        )
+        return oracle_eligible(self.security_class, self.total_violations)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -453,8 +492,13 @@ def _run_oracle_battery(
             )
         )
     # Completion order is nondeterministic under the pool; normalize
-    # to the requested sequence order.
-    order = {name: i for i, name in enumerate(sequences)}
+    # to the requested sequence order (battery aliases stay verbatim,
+    # attack specs are recorded in canonical form).
+    order = {}
+    for i, name in enumerate(sequences):
+        if name not in BATTERY_ATTACKS:
+            name = canonical_attack_spec(name)
+        order[name] = i
     for spec in outcomes:
         outcomes[spec].sort(key=lambda o: order[o.sequence])
     return outcomes

@@ -18,11 +18,17 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.attacks.compile import EVENT_ACT, EVENT_SYNC, CompiledAttack
 from repro.dram.address import AddressMapper
 from repro.dram.timing import DramGeometry
 from repro.interfaces import ActivationTracker
+
+#: What the harness can execute: a flat row-id sequence (the historical
+#: interface) or a compiled attack program, whose ``sync_refresh``
+#: events become explicit window resets.
+AttackSequence = Union[CompiledAttack, Iterable[int]]
 
 
 @dataclass(frozen=True)
@@ -108,22 +114,42 @@ class SecurityHarness:
 
     def run(
         self,
-        sequence: Iterable[int],
+        sequence: AttackSequence,
         window_every: Optional[int] = None,
     ) -> SecurityReport:
-        """Feed a row-id sequence; optionally reset every N activations.
+        """Execute an attack; optionally reset every N activations.
 
-        ``window_every`` counts *demand* activations, mirroring a
-        time-based reset under a constant activation rate.
+        ``sequence`` is either a flat row-id iterable or a
+        :class:`~repro.attacks.compile.CompiledAttack`, whose
+        ``sync_refresh`` events execute as explicit window resets —
+        that is how refresh-synchronized programs express "wait out
+        the window, then burst". ``window_every`` counts *demand*
+        activations since the last reset, mirroring a time-based
+        reset under a constant activation rate.
         """
-        for index, row in enumerate(sequence):
-            if window_every and index and index % window_every == 0:
-                self.tracker.on_window_reset()
-                self.oracle.window_reset()
+        if isinstance(sequence, CompiledAttack):
+            events: Iterable[Tuple[str, int]] = sequence.iter_events()
+        else:
+            events = ((EVENT_ACT, row) for row in sequence)
+        since_reset = 0
+        for kind, row in events:
+            if kind == EVENT_SYNC:
+                self.sync_window()
+                since_reset = 0
+                continue
+            if window_every and since_reset and since_reset % window_every == 0:
+                self.sync_window()
+                since_reset = 0
             self._activate(row)
+            since_reset += 1
             if len(self.report.violations) >= self.max_violations:
                 break
         return self.report
+
+    def sync_window(self) -> None:
+        """Advance tracker and oracle to the next tracking window."""
+        self.tracker.on_window_reset()
+        self.oracle.window_reset()
 
     # ------------------------------------------------------------------
 
@@ -171,7 +197,7 @@ class SecurityHarness:
 def verify_tracker(
     tracker: ActivationTracker,
     geometry: DramGeometry,
-    sequence: Iterable[int],
+    sequence: AttackSequence,
     threshold: int,
     window_every: Optional[int] = None,
     blast_radius: int = 2,

@@ -1,0 +1,68 @@
+"""Class-aware judging of oracle outcomes.
+
+The security oracle reports raw facts — violation counts and whether
+the driving attack could exercise the T_RH/2 threshold at all. What
+those facts *mean* depends on the tracker's declared
+:data:`~repro.trackers.registry.SECURITY_CLASSES` claim: a violation
+is a reproduction-level failure for a ``deterministic`` design, within
+contract for a ``probabilistic`` one, expected for an ``insecure``
+negative control, and unjudgeable for ``rate-control`` designs (an
+activation-count oracle cannot certify a rate guarantee).
+
+This module is the single home of that interpretation. The arena's
+:class:`~repro.analysis.arena.ArenaCell` and the attack fuzzer's
+verdict records both delegate here, so "what counts as INSECURE" can
+never drift between the two harnesses.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "VERDICT_BREAKS_EXPECTED",
+    "VERDICT_BY_DESIGN",
+    "VERDICT_INSECURE",
+    "VERDICT_NA",
+    "VERDICT_NOT_EXERCISED",
+    "VERDICT_SECURE",
+    "VERDICT_SURVIVES",
+    "judge_verdict",
+    "oracle_eligible",
+]
+
+#: The closed verdict vocabulary (manifest records carry these).
+VERDICT_NA = "n/a"
+VERDICT_BREAKS_EXPECTED = "breaks (expected)"
+VERDICT_SURVIVES = "survives"
+VERDICT_NOT_EXERCISED = "not exercised"
+VERDICT_SECURE = "secure"
+VERDICT_BY_DESIGN = "violations (by design)"
+VERDICT_INSECURE = "INSECURE"
+
+
+def judge_verdict(
+    security_class: str, violations: int, exercised: bool
+) -> str:
+    """Interpret raw oracle facts against a declared security class.
+
+    ``violations`` is the total violation count across whatever the
+    oracle executed; ``exercised`` says whether the attack could drive
+    some row past the threshold within a window at all (a zero-
+    violation outcome on an unexercised attack is vacuous).
+    """
+    if security_class == "rate-control":
+        return VERDICT_NA
+    if security_class == "insecure":
+        if violations:
+            return VERDICT_BREAKS_EXPECTED
+        return VERDICT_SURVIVES if exercised else VERDICT_NOT_EXERCISED
+    if violations == 0:
+        return VERDICT_SECURE if exercised else VERDICT_NOT_EXERCISED
+    if security_class == "probabilistic":
+        return VERDICT_BY_DESIGN
+    return VERDICT_INSECURE
+
+
+def oracle_eligible(security_class: str, violations: int) -> bool:
+    """Whether an outcome may enter a Pareto frontier: the oracle found
+    nothing and the tracker is not a negative control."""
+    return security_class != "insecure" and violations == 0

@@ -1,0 +1,195 @@
+"""The attack-program AST: hammer payloads as data.
+
+Modeled on the PyRAM shape (SNIPPETS.md snippet 2): an attack is a
+small tree of DDR-command-level operations —
+
+- :class:`Act` — activate a row (``bank=…, row=…`` or a global row id),
+- :class:`Pre` — precharge (structural in this simulator: the
+  activation-driven engines consume ACTs only, but keeping PRE in the
+  program preserves the command-stream shape and its count),
+- :class:`Nop` — idle slots (counted, not simulated),
+- :class:`Loop` — repeat a body N times,
+- :class:`SyncRefresh` — align to the next tracking-window / refresh
+  boundary (compiles to a window-reset event the security harness
+  executes),
+
+with **late-bound placeholders** (:class:`Placeholder`) wherever a row,
+bank, or count is not yet known. A program with placeholders is a
+template; :mod:`repro.attacks.resolve` binds placeholders against
+concrete values and a :class:`~repro.dram.timing.DramGeometry`, and
+:mod:`repro.attacks.compile` unrolls the result into the flat
+activation sequences both harnesses already consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Placeholder:
+    """A late-bound integer: ``$name`` plus a constant offset.
+
+    Supports the arithmetic attack programs actually need — a fixed
+    offset from a bound value (``P("victim") - 1`` is the row above
+    the victim). Anything fancier belongs in the program builder,
+    which is ordinary Python.
+    """
+
+    name: str
+    offset: int = 0
+
+    def __add__(self, other: int) -> "Placeholder":
+        return Placeholder(self.name, self.offset + int(other))
+
+    def __sub__(self, other: int) -> "Placeholder":
+        return Placeholder(self.name, self.offset - int(other))
+
+    def render(self) -> str:
+        if self.offset > 0:
+            return f"${self.name}+{self.offset}"
+        if self.offset < 0:
+            return f"${self.name}{self.offset}"
+        return f"${self.name}"
+
+
+def P(name: str) -> Placeholder:
+    """Shorthand placeholder constructor for the builder API."""
+    return Placeholder(name)
+
+
+#: An operand: a literal int or a placeholder to be bound at resolve
+#: time.
+Expr = Union[int, Placeholder]
+
+
+@dataclass(frozen=True)
+class Act:
+    """Activate ``row`` (a global row id, or a per-bank row when
+    ``bank`` is given)."""
+
+    row: Expr
+    bank: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Pre:
+    """Precharge the open row (structural; counted, never simulated)."""
+
+
+@dataclass(frozen=True)
+class Nop:
+    """``count`` idle slots (structural; counted, never simulated)."""
+
+    count: Expr = 1
+
+
+@dataclass(frozen=True)
+class SyncRefresh:
+    """Synchronize with the next tracking-window / refresh boundary."""
+
+
+@dataclass(frozen=True)
+class Loop:
+    """Repeat ``body`` ``count`` times."""
+
+    count: Expr
+    body: Tuple["Op", ...]
+
+
+Op = Union[Act, Pre, Nop, SyncRefresh, Loop]
+
+
+@dataclass(frozen=True)
+class Program:
+    """One attack program: named op tree plus default bindings.
+
+    ``defaults`` pre-bind placeholders so a program is runnable out of
+    the box; explicit bindings at resolve time override them.
+    """
+
+    name: str
+    ops: Tuple[Op, ...]
+    defaults: Mapping[str, int] = field(default_factory=dict)
+
+    def placeholders(self) -> Tuple[str, ...]:
+        """Sorted names of every placeholder the program references."""
+        names: Dict[str, None] = {}
+
+        def walk(ops: Tuple[Op, ...]) -> None:
+            for op in ops:
+                if isinstance(op, Act):
+                    for expr in (op.row, op.bank):
+                        if isinstance(expr, Placeholder):
+                            names[expr.name] = None
+                elif isinstance(op, (Nop, Loop)):
+                    if isinstance(op.count, Placeholder):
+                        names[op.count.name] = None
+                    if isinstance(op, Loop):
+                        walk(op.body)
+
+        walk(self.ops)
+        return tuple(sorted(names))
+
+    def unbound(self) -> Tuple[str, ...]:
+        """Placeholders with no default binding (must be given)."""
+        return tuple(
+            name for name in self.placeholders() if name not in self.defaults
+        )
+
+    def walk(self) -> Iterator[Op]:
+        """Every op in the tree, loops included, in source order."""
+        stack = list(reversed(self.ops))
+        while stack:
+            op = stack.pop()
+            yield op
+            if isinstance(op, Loop):
+                stack.extend(reversed(op.body))
+
+    # ------------------------------------------------------------------
+    # Text form (round-trips through repro.attacks.parse)
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """The program's text-DSL form (see :mod:`repro.attacks.parse`)."""
+        lines = [f"# program: {self.name}"]
+        for key, value in sorted(dict(self.defaults).items()):
+            lines.append(f"let {key} = {value}")
+        lines.extend(_render_ops(self.ops, indent=0))
+        return "\n".join(lines) + "\n"
+
+
+def _render_expr(expr: Expr) -> str:
+    if isinstance(expr, Placeholder):
+        return expr.render()
+    return str(expr)
+
+
+def _render_ops(ops: Tuple[Op, ...], indent: int) -> list:
+    pad = "    " * indent
+    lines = []
+    for op in ops:
+        if isinstance(op, Act):
+            if op.bank is None:
+                lines.append(f"{pad}act row={_render_expr(op.row)}")
+            else:
+                lines.append(
+                    f"{pad}act bank={_render_expr(op.bank)}"
+                    f" row={_render_expr(op.row)}"
+                )
+        elif isinstance(op, Pre):
+            lines.append(f"{pad}pre")
+        elif isinstance(op, Nop):
+            if op.count == 1:
+                lines.append(f"{pad}nop")
+            else:
+                lines.append(f"{pad}nop {_render_expr(op.count)}")
+        elif isinstance(op, SyncRefresh):
+            lines.append(f"{pad}sync_refresh")
+        elif isinstance(op, Loop):
+            lines.append(f"{pad}loop {_render_expr(op.count)}:")
+            lines.extend(_render_ops(op.body, indent + 1))
+        else:  # pragma: no cover - the Op union is closed
+            raise TypeError(f"unknown op {op!r}")
+    return lines

@@ -1,0 +1,216 @@
+"""Declarative attack registry and spec-string configuration.
+
+The mirror image of :mod:`repro.trackers.registry`, for adversaries:
+every attack program the simulator knows registers itself here with a
+name and a typed parameter schema, and anywhere the stack accepts an
+attack it accepts a **spec string** in the same grammar trackers use::
+
+    single_sided
+    many_sided@aggs=18,rounds=4096
+    half_double@victim=4000,near_ratio=500
+    rct_region@hammers=10000
+
+Attack builders receive an :class:`AttackContext` — the slice of a
+system an adversary can observe (geometry, timing, T_RH) — and return
+a :class:`~repro.attacks.ops.Program`. Parameters left at their
+defaults are derived from the context (e.g. hammer counts scale with
+the mitigation threshold T_RH/2), so ``compile_attack("single_sided",
+ctx)`` always yields a sequence sized to actually exercise the rung
+under test.
+
+``compile_attack`` is the one-call path the harnesses use:
+spec → builder → resolve (bounds-checked against the context's
+geometry) → :class:`~repro.attacks.compile.CompiledAttack`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.attacks.compile import CompiledAttack, compile_program
+from repro.attacks.ops import Program
+from repro.attacks.resolve import resolve
+from repro.dram.timing import (
+    PAPER_GEOMETRY,
+    PAPER_TIMING,
+    DramGeometry,
+    DramTiming,
+)
+from repro.trackers.registry import (
+    Param,
+    format_param_value,
+    parse_param_items,
+)
+
+__all__ = [
+    "AttackContext",
+    "AttackInfo",
+    "AttackSpec",
+    "attack_info",
+    "available_attacks",
+    "build_attack",
+    "canonical_attack_spec",
+    "compile_attack",
+    "parse_attack_spec",
+    "register_attack",
+]
+
+
+@dataclass(frozen=True)
+class AttackContext:
+    """What an adversary is assumed to know about the system under
+    attack: its geometry, timing, and the threshold being defended."""
+
+    geometry: DramGeometry = PAPER_GEOMETRY
+    timing: DramTiming = PAPER_TIMING
+    trh: int = 500
+
+    @property
+    def threshold(self) -> int:
+        """The T_RH/2 mitigation threshold attacks are sized against."""
+        return max(1, self.trh // 2)
+
+    @property
+    def act_max(self) -> int:
+        """ACT_max: the most activations one bank fits in a window."""
+        return self.timing.max_activations_per_window()
+
+    def with_trh(self, trh: int) -> "AttackContext":
+        return replace(self, trh=trh)
+
+    @classmethod
+    def from_system(cls, config: Any) -> "AttackContext":
+        """Context from anything geometry/timing/trh-shaped
+        (:class:`~repro.sim.config.SystemConfig`, a tracker context)."""
+        return cls(
+            geometry=config.geometry, timing=config.timing, trh=config.trh
+        )
+
+
+@dataclass(frozen=True)
+class AttackInfo:
+    """One registered attack: its program builder and parameter schema."""
+
+    name: str
+    builder: Callable[..., Program]
+    params: Mapping[str, Param] = field(default_factory=dict)
+    summary: str = ""
+
+
+_REGISTRY: Dict[str, AttackInfo] = {}
+
+
+def register_attack(
+    name: str,
+    *,
+    params: Optional[Mapping[str, Param]] = None,
+    summary: str = "",
+) -> Callable[[Callable[..., Program]], Callable[..., Program]]:
+    """Decorator adding one attack-program builder to the registry.
+
+    The decorated callable receives an :class:`AttackContext` plus any
+    spec parameters (coerced to their declared types) as keyword
+    arguments, and returns a :class:`Program`.
+    """
+
+    def decorate(builder: Callable[..., Program]) -> Callable[..., Program]:
+        if name in _REGISTRY:
+            raise ValueError(f"attack {name!r} registered twice")
+        _REGISTRY[name] = AttackInfo(
+            name=name,
+            builder=builder,
+            params=dict(params or {}),
+            summary=summary,
+        )
+        return builder
+
+    return decorate
+
+
+def _ensure_registered() -> None:
+    # The built-in zoo lives in repro.attacks.programs; importing it
+    # populates the registry. Lazy so this module stays a leaf.
+    import repro.attacks.programs  # noqa: F401
+
+
+def available_attacks() -> List[str]:
+    """Sorted names of every registered attack program."""
+    _ensure_registered()
+    return sorted(_REGISTRY)
+
+
+def attack_info(name: str) -> AttackInfo:
+    """Registry entry for ``name`` (a bare name, not a spec)."""
+    _ensure_registered()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown attack {name!r}; available: "
+            + ", ".join(sorted(_REGISTRY))
+        ) from None
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """A parsed ``name@key=value,...`` spec (params coerced + sorted)."""
+
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def canonical(self) -> str:
+        if not self.params:
+            return self.name
+        rendered = ",".join(
+            f"{key}={format_param_value(value)}"
+            for key, value in self.params
+        )
+        return f"{self.name}@{rendered}"
+
+
+def parse_attack_spec(spec: Union[str, AttackSpec]) -> AttackSpec:
+    """Parse and validate an attack spec against the registry."""
+    if isinstance(spec, AttackSpec):
+        return spec
+    name, _, rest = spec.partition("@")
+    name = name.strip()
+    info = attack_info(name)
+    if not rest.strip():
+        if "@" in spec:
+            raise ValueError(f"empty parameter list in spec {spec!r}")
+        return AttackSpec(name=name)
+    params = parse_param_items(spec, f"attack {name}", rest, info.params)
+    return AttackSpec(name=name, params=tuple(sorted(params.items())))
+
+
+def canonical_attack_spec(spec: Union[str, AttackSpec]) -> str:
+    """Normalized string form (stable across spacing/ordering)."""
+    return parse_attack_spec(spec).canonical()
+
+
+def build_attack(
+    spec: Union[str, AttackSpec], context: AttackContext
+) -> Program:
+    """Construct the (possibly placeholder-bearing) program a spec
+    describes, with defaults derived from the context."""
+    parsed = parse_attack_spec(spec)
+    info = attack_info(parsed.name)
+    return info.builder(context, **dict(parsed.params))
+
+
+def compile_attack(
+    spec: Union[str, AttackSpec],
+    context: AttackContext,
+    bindings: Optional[Mapping[str, int]] = None,
+    bounds: str = "raise",
+) -> CompiledAttack:
+    """Spec → program → resolve against the context → compiled attack."""
+    program = build_attack(spec, context)
+    resolved = resolve(
+        program,
+        bindings=bindings,
+        geometry=context.geometry,
+        bounds=bounds,
+    )
+    return compile_program(resolved)

@@ -12,10 +12,20 @@ Subcommands:
 - ``security``      — run the attack-pattern security verification.
 - ``arena``         — race every registered tracker down a T_RH
   ladder and print the slowdown / storage / security Pareto report.
+- ``list-attacks``  — print the attack-program registry.
+- ``fuzz``          — drive every tracker with seeded random hammer
+  programs and judge the outcomes (see ``repro.attacks.fuzz``).
 
 Everywhere a tracker is named (``--tracker``), a parameterized spec
 string is accepted too: ``hydra@trh=1000,rcc_kb=28``,
 ``cra@cache_kb=128``, ``para@probability=0.01``, ...
+
+Attacks use the same spec grammar (``--attack
+many_sided@aggs=18,rounds=4096``): ``run --attack`` injects the
+compiled program alongside the workload as attacker traffic, and
+``arena --attack`` replaces the oracle battery with the named
+programs (battery aliases ``single``/``many``/``random`` still
+work there).
 
 ``--engine {fast,queued}`` selects the memory-controller engine for
 ``run``/``sweep``/``experiment`` (default: the fast in-order model);
@@ -150,16 +160,42 @@ def _print_observability(result, series_out: Optional[str]) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     runner = _runner(args)
-    if args.observe:
+    if args.attack:
+        # Attack runs mix a compiled program into the workload trace;
+        # the mixed trace is unique to this invocation, so simulate
+        # directly (no cache) for both columns.
+        from repro.attacks import AttackContext, compile_attack
+        from repro.sim import simulate
+        from repro.workloads import attack_alongside
+
+        context = AttackContext.from_system(runner.config)
+        compiled = compile_attack(args.attack, context)
+        trace = attack_alongside(
+            runner.trace_for(args.workload),
+            compiled.rows(),
+            args.attack_rate,
+            name=f"{args.workload}+{compiled.name}",
+        )
+        result = simulate(
+            trace, runner.config, args.tracker, observe=args.observe
+        )
+        base = simulate(trace, runner.config, "baseline")
+        print(
+            f"attack            : {compiled.name} "
+            f"({compiled.activations} activations at"
+            f" {args.attack_rate:g}/ns)"
+        )
+    elif args.observe:
         # Observability lives on the live RunResult only (never in the
         # cache), so an observed run always simulates.
         from repro.sim import simulate
 
         trace = runner.trace_for(args.workload)
         result = simulate(trace, runner.config, args.tracker, observe=True)
+        base = runner.run("baseline", args.workload)
     else:
         result = runner.run(args.tracker, args.workload)
-    base = runner.run("baseline", args.workload)
+        base = runner.run("baseline", args.workload)
     slowdown = 100.0 * (result.end_time_ns / base.end_time_ns - 1.0)
     print(f"workload          : {result.workload}")
     print(f"tracker           : {result.tracker}")
@@ -284,6 +320,7 @@ def _cmd_arena(args: argparse.Namespace) -> int:
     from repro.analysis.arena import (
         DEFAULT_ARENA_WORKLOADS,
         DEFAULT_TRH_LADDER,
+        ORACLE_SEQUENCES,
         run_arena,
     )
     from repro.analysis.report import render_arena
@@ -298,6 +335,7 @@ def _cmd_arena(args: argparse.Namespace) -> int:
             if args.workloads
             else DEFAULT_ARENA_WORKLOADS
         ),
+        sequences=tuple(args.attack) if args.attack else ORACLE_SEQUENCES,
         jobs=args.jobs,
         manifest_path=args.manifest,
     )
@@ -308,6 +346,83 @@ def _cmd_arena(args: argparse.Namespace) -> int:
         )
         print(f"wrote {args.json_out}")
     return 0
+
+
+def _cmd_list_attacks(args: argparse.Namespace) -> int:
+    from repro.attacks import attack_info, available_attacks
+
+    print("attack spec grammar: name | name@key=value[,key=value...]")
+    print(
+        "defaults marked 'from context' are derived from the geometry"
+        " and T_RH under test"
+    )
+    print()
+    for name in available_attacks():
+        info = attack_info(name)
+        print(f"{name:<14} {info.summary}")
+        for key, param in sorted(info.params.items()):
+            default = (
+                "from context" if param.default is None else param.default
+            )
+            detail = f" — {param.help}" if param.help else ""
+            print(
+                f"    {key:<16} {param.type.__name__:<6} "
+                f"default={default}{detail}"
+            )
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.attacks.fuzz import (
+        DEFAULT_ACT_BUDGET,
+        DEFAULT_CORPUS_SEED,
+        run_fuzz,
+    )
+
+    config = _config(args)
+    report = run_fuzz(
+        config,
+        trackers=args.trackers.split(",") if args.trackers else None,
+        programs=args.programs,
+        corpus_seed=(
+            args.corpus_seed
+            if args.corpus_seed is not None
+            else DEFAULT_CORPUS_SEED
+        ),
+        act_budget=(
+            args.act_budget
+            if args.act_budget is not None
+            else DEFAULT_ACT_BUDGET
+        ),
+        jobs=args.jobs,
+        manifest_path=args.manifest,
+    )
+    print(
+        f"fuzzed {len(report.trackers)} trackers x {report.programs}"
+        f" programs (corpus seed {report.corpus_seed:#x},"
+        f" T_RH={report.trh})"
+    )
+    for spec, counts in report.verdict_counts().items():
+        rendered = ", ".join(
+            f"{verdict}: {count}" for verdict, count in sorted(counts.items())
+        )
+        print(f"  {spec:<18} {rendered}")
+    for outcome in report.flagged:
+        print(
+            f"  FLAGGED {outcome.spec} on {outcome.program}"
+            f" (seed {outcome.program_seed:#x}):"
+            f" {outcome.violations} violations,"
+            f" max unmitigated {outcome.max_unmitigated}"
+        )
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        )
+        print(f"wrote {args.json_out}")
+    return 1 if report.flagged else 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -402,6 +517,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --observe: also write the window series + final"
         " metrics snapshot as JSON",
     )
+    run.add_argument(
+        "--attack",
+        default=None,
+        metavar="SPEC",
+        help="inject a compiled attack program alongside the workload"
+        " (e.g. many_sided@aggs=18; see list-attacks); bypasses the"
+        " result cache",
+    )
+    run.add_argument(
+        "--attack-rate",
+        type=float,
+        default=0.01,
+        metavar="PER_NS",
+        help="with --attack: attacker activations per nanosecond"
+        " (default 0.01 = one per 100 ns)",
+    )
     run.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser("sweep", help="run all 36 workloads")
@@ -473,7 +604,74 @@ def build_parser() -> argparse.ArgumentParser:
         " here (default: $REPRO_MANIFEST, or <cache>/manifest.jsonl"
         " when REPRO_OBS=1)",
     )
+    arena.add_argument(
+        "--attack",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="replace the oracle battery with this attack spec or"
+        " battery alias (single/many/random); repeatable",
+    )
     arena.set_defaults(func=_cmd_arena)
+
+    catalogue_attacks = sub.add_parser(
+        "list-attacks",
+        help="print the attack-program registry and each program's"
+        " parameters",
+    )
+    catalogue_attacks.set_defaults(func=_cmd_list_attacks)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="judge every tracker against seeded random hammer programs",
+    )
+    _add_common(fuzz)
+    fuzz.add_argument(
+        "--programs",
+        type=int,
+        default=8,
+        metavar="N",
+        help="generated programs per tracker (default 8)",
+    )
+    fuzz.add_argument(
+        "--corpus-seed",
+        type=lambda v: int(v, 0),
+        default=None,
+        metavar="SEED",
+        help="corpus seed (hex ok; default 0xF0552) — program i uses"
+        " seed+i, so flagged programs reproduce exactly",
+    )
+    fuzz.add_argument(
+        "--act-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-program activation budget (default 60000, shrunk"
+        " automatically at low T_RH)",
+    )
+    fuzz.add_argument(
+        "--trackers",
+        default=None,
+        metavar="SPEC,SPEC,...",
+        help="comma-separated tracker specs (default: every registered"
+        " tracker)",
+    )
+    fuzz.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="also write the full fuzz report (every judged cell) as"
+        " JSON",
+    )
+    fuzz.add_argument(
+        "--manifest",
+        default=None,
+        metavar="FILE",
+        help="append one fuzz-oracle verdict record per judged cell"
+        " (default: $REPRO_MANIFEST, or <cache>/manifest.jsonl when"
+        " REPRO_OBS=1)",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     exp = sub.add_parser(
         "experiment", help="run one named paper experiment (fig5, table1, ...)"

@@ -102,6 +102,43 @@ class ArenaOracleRecord:
         )
 
 
+@dataclass(frozen=True)
+class FuzzOracleRecord:
+    """One fuzzer verdict: (tracker, T_RH, generated program).
+
+    The attack fuzzer (:mod:`repro.attacks.fuzz`) drives every
+    registered tracker with seeded random hammer programs and judges
+    the outcomes with the arena's class-aware logic; each judged cell
+    appends one of these lines. ``program_seed`` plus the fuzzer's
+    corpus parameters reproduce the program exactly.
+    """
+
+    spec: str
+    trh: int
+    security_class: str
+    program: str
+    program_seed: int
+    verdict: str
+    secure: bool
+    violations: int
+    max_unmitigated: int
+    mitigations: int
+    activations: int
+    exercised: bool
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+    kind: str = "fuzz-oracle"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "FuzzOracleRecord":
+        known = {f.name for f in fields(FuzzOracleRecord)}
+        return FuzzOracleRecord(
+            **{k: v for k, v in data.items() if k in known}
+        )
+
+
 def make_record(
     *,
     cache_key: str,
@@ -199,6 +236,31 @@ def read_arena_records(
             if data.get("kind") != "arena-oracle":
                 continue
             records.append(ArenaOracleRecord.from_dict(data))
+        except (ValueError, TypeError, AttributeError):
+            skipped += 1
+    return records, skipped
+
+
+def read_fuzz_records(
+    path: Union[str, Path]
+) -> Tuple[List[FuzzOracleRecord], int]:
+    """Load the fuzz-oracle verdict lines from a manifest.
+
+    Mirror of :func:`read_arena_records` for ``kind == "fuzz-oracle"``
+    lines.
+    """
+    records: List[FuzzOracleRecord] = []
+    skipped = 0
+    text = Path(path).read_text(encoding="utf-8")
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+            if data.get("kind") != "fuzz-oracle":
+                continue
+            records.append(FuzzOracleRecord.from_dict(data))
         except (ValueError, TypeError, AttributeError):
             skipped += 1
     return records, skipped

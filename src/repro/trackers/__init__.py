@@ -4,7 +4,8 @@ Functional trackers: Graphene (Misra-Gries CAM), CRA (DRAM counters +
 metadata cache), OCPR (exact per-row), PARA (probabilistic), D-CBF
 (dual counting Bloom filters), plus the post-Hydra successors raced in
 the arena: CoMeT (count-min sketch), MINT (in-DRAM random sampling),
-and START (LLC-resident escalating counters). Storage-only analytic
+PTMP (per-bank probabilistic-insertion FIFOs), and START (LLC-resident
+escalating counters). Storage-only analytic
 models for TWiCE/CAT live in :mod:`repro.trackers.storage` alongside
 the Table 1 and Table 5 generators.
 """
@@ -26,6 +27,7 @@ from repro.trackers.mint import MintTracker, mint_interval_slots
 from repro.trackers.mithril import MithrilTracker
 from repro.trackers.ocpr import OcprTracker
 from repro.trackers.para import ParaTracker, para_probability
+from repro.trackers.ptmp import PtmpTracker
 from repro.trackers.registry import (
     SECURITY_CLASSES,
     Param,
@@ -66,6 +68,7 @@ __all__ = [
     "ProhitTracker",
     "OcprTracker",
     "ParaTracker",
+    "PtmpTracker",
     "RANK_GEOMETRY",
     "SECURITY_CLASSES",
     "StartTracker",

@@ -299,6 +299,44 @@ def _format_value(value: Any) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
+#: Public aliases: the ``name@key=value,...`` grammar is shared with
+#: the attack-program registry (:mod:`repro.attacks.registry`), which
+#: reuses these helpers so both spec languages parse and render
+#: identically.
+format_param_value = _format_value
+
+
+def parse_param_items(
+    spec: str, owner: str, rest: str, schema: Mapping[str, Param]
+) -> Dict[str, Any]:
+    """Parse the ``key=value,...`` tail of a spec against a schema.
+
+    ``owner`` names the registry entry (for error messages). Raises
+    ``ValueError`` on malformed items, unknown or duplicate keys, and
+    type/choice mismatches — spec errors must be self-explanatory
+    because specs travel through CLIs, environment files, and sweep
+    grids.
+    """
+    params: Dict[str, Any] = {}
+    for item in rest.split(","):
+        key, sep, raw = item.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ValueError(
+                f"malformed parameter {item.strip()!r} in spec {spec!r}"
+                " (expected key=value)"
+            )
+        if key not in schema:
+            raise ValueError(
+                f"{owner!r} has no parameter {key!r}; parameters: "
+                + ", ".join(sorted(schema))
+            )
+        if key in params:
+            raise ValueError(f"duplicate parameter {key!r} in spec {spec!r}")
+        params[key] = _coerce(spec, key, schema[key], raw)
+    return params
+
+
 def _coerce(spec: str, name: str, param: Param, raw: str) -> Any:
     raw = raw.strip()
     if param.type is bool:
@@ -344,23 +382,7 @@ def parse_spec(spec: Union[str, TrackerSpec]) -> TrackerSpec:
             raise ValueError(f"empty parameter list in spec {spec!r}")
         return TrackerSpec(name=name)
     schema = {**UNIVERSAL_PARAMS, **info.params}
-    params: Dict[str, Any] = {}
-    for item in rest.split(","):
-        key, sep, raw = item.partition("=")
-        key = key.strip()
-        if not sep or not key:
-            raise ValueError(
-                f"malformed parameter {item.strip()!r} in spec {spec!r}"
-                " (expected key=value)"
-            )
-        if key not in schema:
-            raise ValueError(
-                f"tracker {name!r} has no parameter {key!r}; parameters: "
-                + ", ".join(sorted(schema))
-            )
-        if key in params:
-            raise ValueError(f"duplicate parameter {key!r} in spec {spec!r}")
-        params[key] = _coerce(spec, key, schema[key], raw)
+    params = parse_param_items(spec, f"tracker {name}", rest, schema)
     return TrackerSpec(name=name, params=tuple(sorted(params.items())))
 
 

@@ -1,56 +1,91 @@
-"""RowHammer attack pattern generators (§2.3, §5).
+"""RowHammer attack pattern generators (§2.3, §5) — legacy facade.
 
-Each generator returns a sequence of global row ids — the activation
-order an attacker induces. The security harness feeds these to a
-tracker alongside a ground-truth oracle; the performance harness wraps
-them into :class:`~repro.workloads.trace.Trace` objects to measure the
-cost of attacks as workloads (memory performance attacks, §5.3).
+These functions predate the attack DSL and are kept as thin shims over
+:mod:`repro.attacks.programs`: each builds the corresponding attack
+program, resolves it, and returns the flat global-row activation
+sequence. Golden tests pin every shim bit-identical to the original
+hand-written generators. New code should prefer the program/registry
+API (``repro.attacks.compile_attack("many_sided@aggs=18", ctx)``) —
+programs are inspectable, bounds-checked, and spec-configurable.
 
-Patterns covered: single-sided, double-sided, many-sided
-(TRRespass-style), Half-Double, tracker-thrashing (defeats
-under-provisioned SRAM tables), RCC-thrashing (forces Hydra's per-row
-path to DRAM), and direct hammering of the DRAM rows that store the
-RCT (§5.2.2).
+Each shim accepts an optional ``geometry``; when given, the resolved
+program is validated against it (the historical generators silently
+emitted out-of-range rows — ``double_sided`` on a bank's top row
+"hammers" a row that does not exist). ``bounds`` selects the policy:
+``"raise"`` (default) raises :class:`~repro.attacks.resolve.
+AttackBoundsError`, ``"clamp"`` clamps into range. The two generators
+that always took a geometry (``rcc_thrash``, ``rct_region_attack``)
+now validate unconditionally.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
-import numpy as np
-
-from repro.core.rct import RowCountTable
+from repro.attacks.compile import compile_program
+from repro.attacks.programs import (
+    double_sided_program,
+    half_double_program,
+    many_sided_program,
+    rcc_thrash_program,
+    rct_region_program,
+    single_sided_program,
+    thrash_then_hammer_program,
+)
+from repro.attacks.resolve import resolve
 from repro.dram.timing import DramGeometry
 
 
-def single_sided(aggressor: int, hammers: int) -> List[int]:
+def _rows(
+    program, geometry: Optional[DramGeometry], bounds: str
+) -> List[int]:
+    resolved = resolve(program, geometry=geometry, bounds=bounds)
+    return compile_program(resolved).rows()
+
+
+def single_sided(
+    aggressor: int,
+    hammers: int,
+    geometry: Optional[DramGeometry] = None,
+    bounds: str = "raise",
+) -> List[int]:
     """Hammer one row continuously."""
-    if hammers < 0:
-        raise ValueError("hammers must be non-negative")
-    return [aggressor] * hammers
+    return _rows(single_sided_program(aggressor, hammers), geometry, bounds)
 
 
-def double_sided(victim: int, hammers_per_side: int) -> List[int]:
+def double_sided(
+    victim: int,
+    hammers_per_side: int,
+    geometry: Optional[DramGeometry] = None,
+    bounds: str = "raise",
+) -> List[int]:
     """Alternate the two rows sandwiching ``victim``."""
-    if victim < 1:
-        raise ValueError("victim must have a row on each side")
-    pattern = [victim - 1, victim + 1]
-    return pattern * hammers_per_side
+    return _rows(
+        double_sided_program(victim, hammers_per_side), geometry, bounds
+    )
 
 
-def many_sided(aggressors: Sequence[int], rounds: int) -> List[int]:
+def many_sided(
+    aggressors: Sequence[int],
+    rounds: int,
+    geometry: Optional[DramGeometry] = None,
+    bounds: str = "raise",
+) -> List[int]:
     """TRRespass-style: sweep many aggressors round-robin.
 
     Defeats trackers that only remember a handful of recent rows
     (in-DRAM TRR); every aggressor accumulates ``rounds`` activations.
     """
-    if not aggressors:
-        raise ValueError("need at least one aggressor")
-    return list(itertools.chain.from_iterable([list(aggressors)] * rounds))
+    return _rows(many_sided_program(aggressors, rounds), geometry, bounds)
 
 
-def half_double(victim: int, far_hammers: int, near_ratio: int = 1000) -> List[int]:
+def half_double(
+    victim: int,
+    far_hammers: int,
+    near_ratio: int = 1000,
+    geometry: Optional[DramGeometry] = None,
+    bounds: str = "raise",
+) -> List[int]:
     """Half-Double: heavy distance-2 hammering plus rare near accesses.
 
     Bit-flips at ``victim`` arise from massive activation of the
@@ -58,16 +93,11 @@ def half_double(victim: int, far_hammers: int, near_ratio: int = 1000) -> List[i
     induces on the distance-1 rows (§5.2.1). One near access is mixed
     in per ``near_ratio`` far hammers.
     """
-    if victim < 2:
-        raise ValueError("victim needs distance-2 rows on both sides")
-    sequence: List[int] = []
-    near = [victim - 1, victim + 1]
-    far = [victim - 2, victim + 2]
-    for i in range(far_hammers):
-        sequence.append(far[i % 2])
-        if near_ratio and i % near_ratio == near_ratio - 1:
-            sequence.append(near[(i // near_ratio) % 2])
-    return sequence
+    return _rows(
+        half_double_program(victim, far_hammers, near_ratio),
+        geometry,
+        bounds,
+    )
 
 
 def thrash_then_hammer(
@@ -75,6 +105,8 @@ def thrash_then_hammer(
     decoy_rows: Sequence[int],
     hammers: int,
     interleave: int = 1,
+    geometry: Optional[DramGeometry] = None,
+    bounds: str = "raise",
 ) -> List[int]:
     """Interleave decoy-row sweeps with aggressor activations.
 
@@ -83,15 +115,13 @@ def thrash_then_hammer(
     observation); against Hydra the decoys merely burn GCT counters —
     the per-row RCT backstop still sees every aggressor activation.
     """
-    if interleave < 1:
-        raise ValueError("interleave must be >= 1")
-    sequence: List[int] = []
-    decoys = list(decoy_rows)
-    for i in range(hammers):
-        sequence.append(aggressor)
-        if decoys and i % interleave == 0:
-            sequence.extend(decoys)
-    return sequence
+    return _rows(
+        thrash_then_hammer_program(
+            aggressor, decoy_rows, hammers, interleave=interleave
+        ),
+        geometry,
+        bounds,
+    )
 
 
 def rcc_thrash(
@@ -99,6 +129,7 @@ def rcc_thrash(
     target_rows: int,
     rounds: int,
     seed: int = 11,
+    bounds: str = "raise",
 ) -> List[int]:
     """Memory performance attack on Hydra's RCC (§5.3).
 
@@ -107,29 +138,26 @@ def rcc_thrash(
     read-modify-writes. Bounded by design to 2x extra activations per
     demand activation — the worst case the paper derives.
     """
-    rng = np.random.default_rng(seed)
-    rows = rng.choice(geometry.total_rows // 2, size=target_rows, replace=False)
-    sequence: List[int] = []
-    for _ in range(rounds):
-        rng.shuffle(rows)
-        sequence.extend(int(r) for r in rows)
-    return sequence
+    return _rows(
+        rcc_thrash_program(geometry, target_rows, rounds, seed=seed),
+        geometry,
+        bounds,
+    )
 
 
 def rct_region_attack(
-    geometry: DramGeometry, hammers: int, counter_bytes: int = 1
+    geometry: DramGeometry,
+    hammers: int,
+    counter_bytes: int = 1,
+    bounds: str = "raise",
 ) -> List[int]:
     """Directly hammer the DRAM rows storing the RCT (§5.2.2).
 
     Hydra guards these with the dedicated RIT-ACT SRAM counters; this
     pattern exists to verify that the guard mitigates within T_H.
     """
-    table = RowCountTable(geometry, counter_bytes=counter_bytes)
-    base = table.meta_base_local
-    meta_rows = [
-        bank * geometry.rows_per_bank + base + offset
-        for bank in range(min(2, geometry.total_banks))
-        for offset in range(table.meta_rows_per_bank)
-    ]
-    first_two = meta_rows[:2] if len(meta_rows) >= 2 else meta_rows
-    return list(itertools.islice(itertools.cycle(first_two), hammers))
+    return _rows(
+        rct_region_program(geometry, hammers, counter_bytes=counter_bytes),
+        geometry,
+        bounds,
+    )

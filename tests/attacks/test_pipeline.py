@@ -1,0 +1,104 @@
+"""Tests for the staged attack pipeline and its harness integration."""
+
+import pytest
+
+from repro.analysis.verdicts import (
+    VERDICT_BREAKS_EXPECTED,
+    VERDICT_NOT_EXERCISED,
+    VERDICT_SECURE,
+)
+from repro.attacks.compile import EVENT_SYNC
+from repro.attacks.ops import SyncRefresh
+from repro.attacks.pipeline import (
+    align_to_refresh,
+    annotate,
+    hammer,
+    run_pipeline,
+    tracker_context_for,
+    verify,
+)
+from repro.attacks.registry import AttackContext, compile_attack
+
+CTX = AttackContext(trh=1000)
+
+
+class TestAlignToRefresh:
+    def test_prepends_sync(self):
+        attack = compile_attack("single_sided@hammers=10", CTX)
+        assert attack.syncs == 0
+        run = run_pipeline(attack, CTX, align_to_refresh())
+        assert run.attack.syncs == 1
+        assert next(iter(run.attack.iter_events()))[0] == EVENT_SYNC
+        assert run.attack.activations == 10
+
+    def test_idempotent_when_already_aligned(self):
+        from repro.attacks.compile import compile_program
+        from repro.attacks.parse import parse_program
+        from repro.attacks.resolve import resolve
+
+        attack = compile_program(
+            resolve(parse_program("sync_refresh\nact row=5\npre\n"))
+        )
+        assert isinstance(attack.program.ops[0], SyncRefresh)
+        run = run_pipeline(attack, CTX, align_to_refresh())
+        assert run.attack.syncs == attack.syncs == 1
+
+
+class TestHammerAndVerify:
+    def test_baseline_breaks_as_expected(self):
+        attack = compile_attack("single_sided", CTX)
+        run = run_pipeline(
+            attack,
+            CTX,
+            align_to_refresh(),
+            hammer("baseline"),
+            verify(),
+        )
+        assert run.security_class == "insecure"
+        assert run.exercised is True
+        assert run.report.violations
+        assert run.verdict == VERDICT_BREAKS_EXPECTED
+
+    def test_graphene_survives(self):
+        attack = compile_attack("single_sided", CTX)
+        run = run_pipeline(
+            attack,
+            CTX,
+            align_to_refresh(),
+            hammer("graphene"),
+            verify(),
+            annotate(origin="test"),
+        )
+        assert run.security_class == "deterministic"
+        assert run.verdict == VERDICT_SECURE
+        assert not run.report.violations
+        assert run.annotations["attack"] == "single_sided"
+        assert run.annotations["activations"] == attack.activations
+        assert run.annotations["origin"] == "test"
+
+    def test_unexercised_attack_judged_vacuous(self):
+        attack = compile_attack("single_sided@hammers=3", CTX)
+        run = run_pipeline(
+            attack, CTX, hammer("graphene"), verify()
+        )
+        assert run.exercised is False
+        assert run.verdict == VERDICT_NOT_EXERCISED
+
+    def test_hammer_accepts_tracker_instance(self):
+        from repro.trackers import build_tracker
+
+        tracker = build_tracker("graphene", tracker_context_for(CTX))
+        attack = compile_attack("single_sided", CTX)
+        run = run_pipeline(attack, CTX, hammer(tracker), verify())
+        assert run.tracker_spec == "GrapheneTracker"
+        assert run.verdict == VERDICT_SECURE
+
+    def test_verify_without_hammer_raises(self):
+        attack = compile_attack("single_sided", CTX)
+        with pytest.raises(ValueError, match="hammer"):
+            run_pipeline(attack, CTX, verify())
+
+    def test_tracker_context_scales_structures(self):
+        tctx = tracker_context_for(AttackContext(trh=125))
+        assert tctx.trh == 125
+        assert tctx.structure_scale == 4  # 500 // 125

@@ -1,0 +1,167 @@
+"""Tests for the attack registry: spec parsing, context defaults."""
+
+import pytest
+
+from repro.attacks.programs import (
+    DEFAULT_MANY_AGGRESSORS,
+    MANY_ACT_CAP,
+    RANDOM_ACT_CAP,
+    RANDOM_SEED,
+)
+from repro.attacks.registry import (
+    AttackContext,
+    AttackSpec,
+    attack_info,
+    available_attacks,
+    build_attack,
+    canonical_attack_spec,
+    compile_attack,
+    parse_attack_spec,
+)
+from repro.dram.timing import PAPER_GEOMETRY
+
+EXPECTED_ATTACKS = {
+    "single_sided",
+    "double_sided",
+    "many_sided",
+    "half_double",
+    "thrash",
+    "rcc_thrash",
+    "rct_region",
+    "random",
+    "refresh_sync",
+}
+
+
+class TestRegistry:
+    def test_zoo_is_registered(self):
+        assert EXPECTED_ATTACKS <= set(available_attacks())
+
+    def test_attack_info_lists_available_on_miss(self):
+        with pytest.raises(ValueError, match="single_sided"):
+            attack_info("no_such_attack")
+
+    def test_info_carries_schema(self):
+        info = attack_info("many_sided")
+        assert "aggs" in info.params
+        assert info.params["aggs"].default == DEFAULT_MANY_AGGRESSORS
+
+
+class TestSpecParsing:
+    def test_bare_name(self):
+        spec = parse_attack_spec("single_sided")
+        assert spec == AttackSpec(name="single_sided")
+        assert spec.canonical() == "single_sided"
+
+    def test_params_coerced_and_sorted(self):
+        spec = parse_attack_spec("many_sided@rounds=600, aggs=4")
+        assert spec.params == (("aggs", 4), ("rounds", 600))
+        assert spec.canonical() == "many_sided@aggs=4,rounds=600"
+
+    def test_canonical_is_stable(self):
+        a = canonical_attack_spec("many_sided@aggs=4,rounds=600")
+        b = canonical_attack_spec("many_sided@rounds=600,aggs=4")
+        assert a == b
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(ValueError, match="unknown attack"):
+            parse_attack_spec("warp_drive@speed=9")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError):
+            parse_attack_spec("single_sided@sides=2")
+
+    def test_empty_param_list_rejected(self):
+        with pytest.raises(ValueError, match="empty parameter"):
+            parse_attack_spec("single_sided@")
+
+    def test_spec_passthrough(self):
+        spec = AttackSpec(name="single_sided")
+        assert parse_attack_spec(spec) is spec
+
+
+class TestContext:
+    def test_threshold_is_half_trh(self):
+        assert AttackContext(trh=500).threshold == 250
+        assert AttackContext(trh=1).threshold == 1
+
+    def test_with_trh(self):
+        ctx = AttackContext().with_trh(125)
+        assert ctx.trh == 125
+        assert ctx.geometry is PAPER_GEOMETRY
+
+    def test_from_system_duck_typed(self):
+        from repro.dram.timing import PAPER_TIMING
+
+        class FakeConfig:
+            geometry = PAPER_GEOMETRY
+            timing = PAPER_TIMING
+            trh = 700
+
+        ctx = AttackContext.from_system(FakeConfig)
+        assert ctx.trh == 700
+        assert ctx.geometry is PAPER_GEOMETRY
+
+
+class TestContextDefaults:
+    """Default parameters derive from the context (threshold scaling)."""
+
+    def test_single_sided_scales_with_threshold(self):
+        ctx = AttackContext(trh=500)
+        compiled = compile_attack("single_sided", ctx)
+        assert compiled.activations == int(2.5 * ctx.threshold) + 8
+        assert compiled.rows() == [5] * compiled.activations
+
+    def test_many_sided_defaults(self):
+        ctx = AttackContext(trh=500)
+        compiled = compile_attack("many_sided", ctx)
+        aggs = DEFAULT_MANY_AGGRESSORS
+        rounds = int(1.25 * ctx.threshold) + 8
+        assert compiled.rows() == [200 + i for i in range(aggs)] * rounds
+
+    def test_many_sided_rounds_capped_at_high_rungs(self):
+        ctx = AttackContext(trh=139_000)
+        compiled = compile_attack("many_sided", ctx)
+        assert compiled.activations <= MANY_ACT_CAP
+
+    def test_random_defaults_match_arena_battery(self):
+        import random as _random
+
+        ctx = AttackContext(trh=500)
+        compiled = compile_attack("random", ctx)
+        length = min(4 * ctx.threshold, RANDOM_ACT_CAP)
+        span = min(4096, ctx.geometry.total_rows)
+        rng = _random.Random(RANDOM_SEED)
+        assert compiled.rows() == [
+            rng.randrange(span) for _ in range(length)
+        ]
+
+    def test_explicit_params_override_context(self):
+        ctx = AttackContext(trh=500)
+        compiled = compile_attack("single_sided@row=9,hammers=17", ctx)
+        assert compiled.rows() == [9] * 17
+
+    def test_refresh_sync_emits_sync_events(self):
+        ctx = AttackContext(trh=500)
+        compiled = compile_attack("refresh_sync@windows=3,hammers=10", ctx)
+        assert compiled.syncs == 3
+        assert compiled.activations == 30
+
+    def test_build_attack_returns_program(self):
+        ctx = AttackContext(trh=500)
+        program = build_attack("double_sided", ctx)
+        assert program.name == "double_sided"
+        # Resolvable as-is: registry builders bind all placeholders.
+        compile_attack("double_sided", ctx)
+
+    def test_compile_bounds_checks_against_context_geometry(self):
+        from repro.attacks.resolve import AttackBoundsError
+
+        ctx = AttackContext(trh=500)
+        top = ctx.geometry.total_rows - 1
+        with pytest.raises(AttackBoundsError):
+            compile_attack(f"double_sided@victim={top}", ctx)
+        clamped = compile_attack(
+            f"double_sided@victim={top}", ctx, bounds="clamp"
+        )
+        assert max(clamped.rows()) == top

@@ -94,3 +94,52 @@ class TestRunCommand:
         out = capsys.readouterr().out
         assert "execution time" in out
         assert "mitigations" in out
+
+
+class TestAttackCommands:
+    def test_list_attacks_prints_registry(self, capsys):
+        assert main(["list-attacks"]) == 0
+        out = capsys.readouterr().out
+        assert "single_sided" in out
+        assert "many_sided" in out
+        assert "aggs" in out
+
+    def test_run_with_attack_spec(self, capsys):
+        code = main(
+            ["run", "leela", "--tracker", "hydra",
+             "--scale-denominator", "256",
+             "--attack", "single_sided@hammers=500"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "single_sided" in out
+        assert "execution time" in out
+
+    def test_run_rejects_unknown_attack_spec(self):
+        with pytest.raises(ValueError, match="unknown attack"):
+            main(
+                ["run", "leela", "--tracker", "hydra",
+                 "--scale-denominator", "256",
+                 "--attack", "nonsense"]
+            )
+
+    def test_arena_attack_flag_is_repeatable(self):
+        args = build_parser().parse_args(
+            ["arena", "--attack", "single",
+             "--attack", "many_sided@aggs=4,rounds=600"]
+        )
+        assert args.attack == ["single", "many_sided@aggs=4,rounds=600"]
+
+    def test_fuzz_smoke(self, tmp_path, capsys):
+        code = main(
+            ["fuzz", "--trackers", "graphene", "--programs", "2",
+             "--corpus-seed", "9", "--scale-denominator", "256",
+             "--jobs", "0",
+             "--json-out", str(tmp_path / "fuzz.json"),
+             "--manifest", str(tmp_path / "fuzz.jsonl")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "graphene" in out
+        assert (tmp_path / "fuzz.json").exists()
+        assert (tmp_path / "fuzz.jsonl").exists()
