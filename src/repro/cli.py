@@ -15,6 +15,9 @@ Subcommands:
 - ``list-attacks``  — print the attack-program registry.
 - ``fuzz``          — drive every tracker with seeded random hammer
   programs and judge the outcomes (see ``repro.attacks.fuzz``).
+- ``trace``         — inspect / convert / head / record trace files
+  (chunked directories, ``.npz``, external text) without loading
+  them whole.
 
 Everywhere a tracker is named (``--tracker``), a parameterized spec
 string is accepted too: ``hydra@trh=1000,rcc_kb=28``,
@@ -31,6 +34,13 @@ work there).
 ``run``/``sweep``/``experiment`` (default: the fast in-order model);
 ``engine=`` inside a spec string overrides it per tracker column
 (``--tracker hydra@engine=queued``).
+
+``--stream-chunk N`` streams traces through on-disk chunks of N
+requests instead of materializing them in RAM (bit-identical results,
+bounded memory; ``stream_chunk=`` inside a spec string overrides per
+column), and ``run --trace-file PATH`` replays a recorded trace —
+chunked directory, ``.npz``, or external text — through the same
+simulation path (DESIGN.md §13).
 
 Observability (see ``repro.obs``): ``run --observe`` records a
 per-window metric series during the simulation and prints it;
@@ -86,6 +96,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="simulate up to N grid cells in parallel (0 = one per CPU; "
         "default: $REPRO_JOBS, else serial)",
     )
+    parser.add_argument(
+        "--stream-chunk",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stream traces through on-disk chunks of N requests"
+        " (bounded memory; 0 = materialize in RAM, the default);"
+        " per-spec override: --tracker 'hydra@stream_chunk=65536'",
+    )
 
 
 def _config(args: argparse.Namespace) -> SystemConfig:
@@ -93,6 +112,8 @@ def _config(args: argparse.Namespace) -> SystemConfig:
         scale=1.0 / args.scale_denominator,
         trh=args.trh,
         engine=getattr(args, "engine", "fast"),
+        stream_chunk=getattr(args, "stream_chunk", 0),
+        trace_file=getattr(args, "trace_file", None),
     )
 
 
@@ -166,12 +187,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # directly (no cache) for both columns.
         from repro.attacks import AttackContext, compile_attack
         from repro.sim import simulate
-        from repro.workloads import attack_alongside
+        from repro.workloads import attack_alongside, materialize
 
         context = AttackContext.from_system(runner.config)
         compiled = compile_attack(args.attack, context)
+        # Attack mixing sorts the merged arrival schedule, which needs
+        # the whole victim trace; chunked sources are materialized for
+        # this path only.
         trace = attack_alongside(
-            runner.trace_for(args.workload),
+            materialize(runner.trace_for(args.workload)),
             compiled.rows(),
             args.attack_rate,
             name=f"{args.workload}+{compiled.name}",
@@ -425,6 +449,93 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if report.flagged else 0
 
 
+def _open_source(path: str, chunk: int):
+    from repro.workloads.streaming import open_trace_source
+
+    return open_trace_source(path, chunk_requests=chunk)
+
+
+def _write_source(source, destination: str, chunk: int) -> str:
+    """Write a trace source to ``destination`` in the format its
+    suffix implies; returns a human summary of what was written."""
+    from pathlib import Path
+
+    from repro.workloads.streaming import (
+        ChunkedTrace,
+        TEXT_SUFFIXES,
+        materialize,
+        write_external_trace,
+    )
+
+    dst = Path(destination)
+    if dst.suffix == ".npz":
+        trace = materialize(source)
+        trace.save(str(dst))
+        return f"wrote {dst} (npz, {len(trace)} requests)"
+    if dst.suffix in TEXT_SUFFIXES:
+        count = write_external_trace(source, dst)
+        return f"wrote {dst} (external text, {count} requests)"
+    chunked = ChunkedTrace.write(
+        source.chunks(), dst, name=source.name, chunk_requests=chunk
+    )
+    return (
+        f"wrote {dst}/ (chunked, {len(chunked)} requests in"
+        f" {chunked.n_segments} segments of {chunk})"
+    )
+
+
+def _cmd_trace_inspect(args: argparse.Namespace) -> int:
+    from repro.workloads.streaming import (
+        characterize_chunks,
+        source_duration_ns,
+        source_request_count,
+    )
+
+    source = _open_source(args.path, args.chunk)
+    stats = characterize_chunks(source, hot_threshold=args.hot_threshold)
+    print(f"trace             : {source.name}")
+    print(f"requests          : {source_request_count(source)}")
+    print(f"duration (intent) : {source_duration_ns(source) / 1e6:.3f} ms")
+    print(f"activations       : {stats.activations}")
+    print(f"unique rows       : {stats.unique_rows}")
+    print(f"ACT>{args.hot_threshold} rows      : {stats.act250_rows}")
+    print(f"ACTs per row      : {stats.acts_per_row:.2f}")
+    print(f"line transfers    : {stats.line_transfers}")
+    return 0
+
+
+def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    source = _open_source(args.source, args.chunk)
+    print(_write_source(source, args.destination, args.chunk))
+    return 0
+
+
+def _cmd_trace_head(args: argparse.Namespace) -> int:
+    from itertools import islice
+
+    source = _open_source(args.path, args.chunk)
+    print(f"# {source.name}")
+    print("# <gap_ns> <R|W> <row_id> <n_lines>")
+    shown = 0
+    for gap, row, n_lines, is_write in islice(
+        iter(source), args.start, args.start + args.count
+    ):
+        print(f"{gap!r} {'W' if is_write else 'R'} {row} {n_lines}")
+        shown += 1
+    if not shown:
+        print(f"# (no requests at offset {args.start})")
+    return 0
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from repro.sim.simulator import trace_for_workload
+
+    config = _config(args).with_stream_chunk(args.chunk)
+    source = trace_for_workload(config, args.workload)
+    print(_write_source(source, args.destination, args.chunk))
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import json
     import os
@@ -502,7 +613,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="simulate one workload")
     _add_common(run)
-    run.add_argument("workload", choices=all_names())
+    run.add_argument(
+        "workload",
+        nargs="?",
+        default="GUPS",
+        choices=all_names(),
+        help="synthetic workload to simulate (default GUPS; ignored"
+        " when --trace-file replays a recorded trace)",
+    )
+    run.add_argument(
+        "--trace-file",
+        default=None,
+        metavar="PATH",
+        help="replay a recorded trace instead of generating the"
+        " workload: a chunked-trace directory, an .npz trace, or an"
+        " external text trace (see 'hydra-sim trace --help');"
+        " combine with --stream-chunk to replay in bounded memory",
+    )
     run.add_argument("--tracker", default="hydra")
     run.add_argument(
         "--observe",
@@ -705,6 +832,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="also dump raw pstats data here (for snakeviz etc.)",
     )
     profile.set_defaults(func=_cmd_profile)
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect/convert/record trace files (chunked, npz, text)",
+        description="Tools over recorded traces. Formats are inferred"
+        " from paths: a directory is a chunked trace (mmapped npy"
+        " segments + manifest), *.npz is a materialized numpy trace,"
+        " and *.trc/*.txt/*.trace is the external text format"
+        " '<gap_ns> <R|W> <row_id> [n_lines]' (one request per line,"
+        " '#' comments). All tools stream chunk-at-a-time, so a"
+        " 100M-request trace never sits in RAM whole.",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    def _add_chunk(p: argparse.ArgumentParser) -> None:
+        from repro.workloads.streaming import DEFAULT_STREAM_CHUNK
+
+        p.add_argument(
+            "--chunk",
+            type=int,
+            default=DEFAULT_STREAM_CHUNK,
+            metavar="N",
+            help="streaming chunk / segment size in requests"
+            f" (default {DEFAULT_STREAM_CHUNK})",
+        )
+
+    inspect = trace_sub.add_parser(
+        "inspect", help="print Table-3-style statistics of a trace"
+    )
+    inspect.add_argument("path", help="trace to inspect (any format)")
+    inspect.add_argument(
+        "--hot-threshold",
+        type=int,
+        default=250,
+        metavar="N",
+        help="activation count above which a row counts as hot"
+        " (default 250, Table 3's ACT>250 column)",
+    )
+    _add_chunk(inspect)
+    inspect.set_defaults(func=_cmd_trace_inspect)
+
+    convert = trace_sub.add_parser(
+        "convert",
+        help="convert between trace formats (npz / text / chunked dir)",
+    )
+    convert.add_argument("source", help="trace to read (any format)")
+    convert.add_argument(
+        "destination",
+        help="where to write: *.npz, *.trc/*.txt/*.trace (text), or a"
+        " directory path (chunked)",
+    )
+    _add_chunk(convert)
+    convert.set_defaults(func=_cmd_trace_convert)
+
+    head = trace_sub.add_parser(
+        "head",
+        help="print a slice of a trace as text without loading it whole",
+    )
+    head.add_argument("path", help="trace to read (any format)")
+    head.add_argument(
+        "-n", "--count", type=int, default=10, metavar="N",
+        help="requests to print (default 10)",
+    )
+    head.add_argument(
+        "--start", type=int, default=0, metavar="I",
+        help="first request index to print (default 0)",
+    )
+    _add_chunk(head)
+    head.set_defaults(func=_cmd_trace_head)
+
+    record = trace_sub.add_parser(
+        "record",
+        help="generate a synthetic workload's trace and save it",
+    )
+    _add_common(record)
+    record.add_argument("workload", choices=all_names())
+    record.add_argument(
+        "destination",
+        help="where to write: *.npz, *.trc/*.txt/*.trace (text), or a"
+        " directory path (chunked)",
+    )
+    _add_chunk(record)
+    record.set_defaults(func=_cmd_trace_record)
 
     report = sub.add_parser(
         "report", help="render paper-vs-measured report from bench results"

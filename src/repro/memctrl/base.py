@@ -106,6 +106,12 @@ def drive_in_order(
     the completion of the request ``mlp`` positions earlier (the
     window slot it reuses). This is the limited-MLP core model shared
     by the fast engine and :class:`repro.cpu.core.LimitedMlpCore`.
+
+    ``trace`` is consumed strictly one tuple at a time with running
+    state only, so any bounded-memory
+    :class:`~repro.workloads.streaming.TraceSource` stream (chunked
+    on-disk traces, external text readers) runs in chunk-sized peak
+    memory here.
     """
     if mlp <= 0:
         raise ValueError("mlp must be positive")

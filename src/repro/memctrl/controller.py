@@ -73,13 +73,19 @@ class MemoryController(BaseMemoryController):
     def run_trace(self, trace, mlp: int = 16) -> EngineRunOutcome:
         """Replay a trace through the limited-MLP in-order window.
 
-        :class:`~repro.workloads.trace.Trace` objects take the
-        pre-resolved fast loop (bank/channel indices vectorized once in
-        numpy, the per-request ``access`` body inlined); any other
-        iterable of ``(gap_ns, row_id, n_lines, is_write)`` tuples
-        falls back to the generic :func:`drive_in_order` path. Both
-        produce bit-identical results — the fast loop performs the
-        exact same arithmetic in the exact same order.
+        Any :class:`~repro.workloads.streaming.TraceSource` exposing
+        ``resolved_stream`` — an in-RAM
+        :class:`~repro.workloads.trace.Trace`, a chunked on-disk
+        trace, or an external-format reader — takes the pre-resolved
+        fast loop (bank/channel indices vectorized per chunk in numpy,
+        the per-request ``access`` body inlined), consuming the stream
+        with running statistics so peak memory is bounded by the
+        source's chunk size. Any other iterable of
+        ``(gap_ns, row_id, n_lines, is_write)`` tuples falls back to
+        the generic :func:`drive_in_order` path. All paths produce
+        bit-identical results — the fast loop performs the exact same
+        arithmetic in the exact same order regardless of how the
+        stream is backed.
         """
         resolved = getattr(trace, "resolved_stream", None)
         if resolved is not None:

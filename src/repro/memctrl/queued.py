@@ -119,6 +119,12 @@ class QueuedMemoryController(BaseMemoryController):
         resolution. After the last batch every write queue is flushed,
         so the end time and all activity stats account for writes that
         were still buffered when the trace ran out.
+
+        ``trace`` is any iterable of ``(gap_ns, row_id, n_lines,
+        is_write)`` tuples; chunk-backed
+        :class:`~repro.workloads.streaming.TraceSource` streams are
+        pulled one request at a time (at most ``mlp`` buffered), so
+        bounded-memory sources stay bounded through this engine too.
         """
         if mlp <= 0:
             raise ValueError("mlp must be positive")

@@ -34,6 +34,17 @@ pays for each workload's trace once) and runs the simulation —
 because specs are strings, parallel sweeps get parameter *and engine*
 sweeps for free.
 
+Traces are :class:`~repro.workloads.streaming.TraceSource`s, not
+necessarily in-RAM ``Trace`` arrays. With
+``SystemConfig.stream_chunk > 0`` the per-process memo caches *on-disk
+chunk segments* (a spooled :class:`~repro.workloads.streaming.ChunkedTrace`
+under a per-process temp directory) instead of whole arrays, so a
+trace 10x the memo budget streams through either engine with peak
+memory bounded by the chunk size; ``SystemConfig.trace_file`` replays
+a recorded trace (chunked directory, ``.npz``, or external text)
+through the same path. Results are bit-identical to the materialized
+fast path (``tests/sim/test_stream_parity.py``).
+
 Observability: pass ``observe=True`` (or export ``REPRO_OBS=1``) and
 the run carries a :class:`~repro.obs.recorder.RunObservability` on
 ``result.observability`` — a per-tracking-window counter series plus
@@ -44,7 +55,12 @@ parity suite pins this).
 
 from __future__ import annotations
 
+import atexit
+import hashlib
+import shutil
+import tempfile
 from collections import OrderedDict
+from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.dram.power import DramPowerModel
@@ -54,6 +70,13 @@ from repro.sim.results import RunResult
 from repro.sim.spec import RunSpec
 from repro.trackers.registry import build_tracker
 from repro.workloads.characteristics import workload
+from repro.workloads.streaming import (
+    ChunkedTrace,
+    ExternalTraceReader,
+    TraceChunk,
+    TraceSource,
+    open_trace_source,
+)
 from repro.workloads.synthetic import SyntheticWorkloadGenerator
 from repro.workloads.trace import Trace
 
@@ -68,25 +91,123 @@ TrackerFactory = Callable[[SystemConfig], ActivationTracker]
 #: workers hit exactly as before), while a long multi-config sweep in
 #: one process evicts least-recently-replayed traces instead of
 #: growing without limit.
-_TRACE_MEMO: "OrderedDict[Tuple[str, str], Trace]" = OrderedDict()
+#:
+#: Entries are *sources*, not necessarily arrays: a streamed workload
+#: (``stream_chunk > 0``) memoizes a :class:`ChunkedTrace` whose
+#: segments live on disk under the per-process spool directory — the
+#: memo then costs file handles and a manifest, not gigabytes of RAM.
+#: The bool records whether this process spooled the segments itself
+#: (and so owns deleting them on eviction); sources opened from user
+#: paths are never deleted.
+_TRACE_MEMO: "OrderedDict[Tuple[str, str], Tuple[TraceSource, bool]]" = (
+    OrderedDict()
+)
 
 #: Maximum traces kept per process (> the 36-workload suite).
 _TRACE_MEMO_MAX = 64
 
+#: Lazily-created per-process directory holding spooled chunk
+#: segments; removed wholesale at interpreter exit.
+_SPOOL_DIR: Optional[Path] = None
 
-def trace_for_workload(config: SystemConfig, workload_name: str) -> Trace:
-    """Generate (or recall) the trace of one workload on one system."""
+
+def _spool_dir() -> Path:
+    global _SPOOL_DIR
+    if _SPOOL_DIR is None:
+        _SPOOL_DIR = Path(tempfile.mkdtemp(prefix="repro-trace-spool-"))
+        atexit.register(shutil.rmtree, _SPOOL_DIR, ignore_errors=True)
+    return _SPOOL_DIR
+
+
+def _memo_evict(entry: Tuple[TraceSource, bool]) -> None:
+    source, owned = entry
+    if owned and isinstance(source, ChunkedTrace):
+        source.delete()
+
+
+def _clear_trace_memo() -> None:
+    """Drop every memo entry, deleting spooled segments (tests)."""
+    while _TRACE_MEMO:
+        _, entry = _TRACE_MEMO.popitem(last=False)
+        _memo_evict(entry)
+
+
+def _build_trace_source(
+    config: SystemConfig, workload_name: str, memo_key: Tuple[str, str]
+) -> Tuple[TraceSource, bool]:
+    """Construct the trace source one memo entry describes.
+
+    Returns ``(source, owned)`` where ``owned`` marks spool segments
+    this process wrote (and must delete on eviction).
+    """
+    if config.trace_file is not None:
+        source = open_trace_source(
+            config.trace_file, chunk_requests=config.stream_chunk
+        )
+        if isinstance(source, ExternalTraceReader):
+            # Re-parsing text on every replay would dominate runtime;
+            # spool it once into mmapped segments and stream those.
+            spool = _spool_subdir(memo_key)
+            return (
+                ChunkedTrace.write(
+                    source.chunks(),
+                    spool,
+                    name=source.name,
+                    chunk_requests=config.stream_chunk,
+                ),
+                True,
+            )
+        return source, False
+    generator = SyntheticWorkloadGenerator(config.generator_config())
+    if config.stream_chunk > 0:
+        spool = _spool_subdir(memo_key)
+        chunk_stream = (
+            TraceChunk.of(window)
+            for window in generator.iter_windows(workload(workload_name))
+        )
+        return (
+            ChunkedTrace.write(
+                chunk_stream,
+                spool,
+                name=workload_name,
+                chunk_requests=config.stream_chunk,
+            ),
+            True,
+        )
+    return generator.generate(workload(workload_name)), False
+
+
+def _spool_subdir(memo_key: Tuple[str, str]) -> Path:
+    digest = hashlib.sha256(repr(memo_key).encode()).hexdigest()[:16]
+    path = _spool_dir() / digest
+    if path.exists():  # stale segments from a dropped entry
+        shutil.rmtree(path, ignore_errors=True)
+    return path
+
+
+def trace_for_workload(config: SystemConfig, workload_name: str) -> TraceSource:
+    """Generate (or recall) the trace of one workload on one system.
+
+    With the default config this returns the familiar in-RAM
+    ``Trace``; with ``stream_chunk > 0`` it returns a spooled
+    :class:`ChunkedTrace` (bounded-memory replay), and with
+    ``trace_file`` set it opens/spools the recorded trace instead of
+    generating synthetically. All three are memoized per process under
+    ``(config.trace_key(), workload_name)`` — the streaming axis is
+    part of ``trace_key``, so materialized and chunked variants of one
+    workload are distinct entries.
+    """
     memo_key = (config.trace_key(), workload_name)
-    trace = _TRACE_MEMO.get(memo_key)
-    if trace is None:
-        generator = SyntheticWorkloadGenerator(config.generator_config())
-        trace = generator.generate(workload(workload_name))
-        _TRACE_MEMO[memo_key] = trace
+    entry = _TRACE_MEMO.get(memo_key)
+    if entry is None:
+        entry = _build_trace_source(config, workload_name, memo_key)
+        _TRACE_MEMO[memo_key] = entry
         if len(_TRACE_MEMO) > _TRACE_MEMO_MAX:
-            _TRACE_MEMO.popitem(last=False)
+            _, evicted = _TRACE_MEMO.popitem(last=False)
+            _memo_evict(evicted)
     else:
         _TRACE_MEMO.move_to_end(memo_key)
-    return trace
+    return entry[0]
 
 
 def simulate_workload(
@@ -98,12 +219,17 @@ def simulate_workload(
     """One grid cell from names alone (the parallel-sweep work unit).
 
     ``spec`` is a tracker spec string or a :class:`RunSpec` (strings
-    keep this picklable for pool workers).
+    keep this picklable for pool workers). A ``stream_chunk=`` spec
+    parameter (or RunSpec field) is resolved onto the config *before*
+    trace construction, so per-run streaming overrides reach the memo
+    and the cache key, not just the engine.
     """
+    run_spec = RunSpec.coerce(spec=spec)
+    config = run_spec.apply_stream_chunk(config)
     return simulate(
         trace_for_workload(config, workload_name),
         config,
-        spec=spec,
+        spec=run_spec,
         observe=observe,
     )
 
@@ -118,7 +244,7 @@ def make_tracker(name: str, config: SystemConfig) -> ActivationTracker:
 
 
 def simulate(
-    trace: Trace,
+    trace: TraceSource,
     config: SystemConfig,
     spec: Union[None, str, RunSpec] = None,
     tracker: Optional[ActivationTracker] = None,
@@ -127,6 +253,11 @@ def simulate(
     tracker_name: Optional[str] = None,
 ) -> RunResult:
     """Run one trace through one system configuration.
+
+    ``trace`` is any :class:`TraceSource` — an in-RAM ``Trace``, a
+    chunked on-disk trace, or an external-format reader; both engines
+    consume the stream with running statistics, so the result is
+    bit-identical across representations.
 
     ``spec`` (a spec string or :class:`RunSpec`) is the preferred way
     to say what runs; ``tracker=`` (a prebuilt instance) and

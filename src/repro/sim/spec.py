@@ -32,7 +32,7 @@ from repro.memctrl import build_controller as _build_controller
 from repro.memctrl import normalize_engine
 from repro.memctrl.base import BaseMemoryController
 from repro.sim.config import SystemConfig
-from repro.trackers.registry import build_tracker, spec_engine
+from repro.trackers.registry import build_tracker, spec_engine, spec_stream_chunk
 
 #: What ``simulate``/``simulate_workload`` run when told nothing else.
 DEFAULT_TRACKER = "hydra"
@@ -45,6 +45,11 @@ class RunSpec:
     tracker: str = DEFAULT_TRACKER
     engine: Optional[str] = None
     instance: Optional[ActivationTracker] = None
+    #: Trace-streaming chunk override (requests per chunk; 0 =
+    #: materialize). ``None`` defers to the spec string and then
+    #: ``SystemConfig.stream_chunk`` — the same resolution order as
+    #: ``engine``.
+    stream_chunk: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.engine is not None:
@@ -55,6 +60,17 @@ class RunSpec:
                     f"conflicting engines: engine={self.engine!r} but the"
                     f" spec {self.tracker!r} says engine={spec_override!r};"
                     " drop one (matching values are allowed)"
+                )
+        if self.stream_chunk is not None:
+            if self.stream_chunk < 0:
+                raise ValueError("stream_chunk must be >= 0")
+            chunk_override = self._spec_stream_chunk()
+            if chunk_override is not None and chunk_override != self.stream_chunk:
+                raise ValueError(
+                    f"conflicting stream chunks: stream_chunk="
+                    f"{self.stream_chunk!r} but the spec {self.tracker!r}"
+                    f" says stream_chunk={chunk_override!r}; drop one"
+                    " (matching values are allowed)"
                 )
 
     @classmethod
@@ -90,6 +106,7 @@ class RunSpec:
                         tracker=spec.tracker,
                         engine=engine,
                         instance=spec.instance,
+                        stream_chunk=spec.stream_chunk,
                     )
                 return spec
             return cls(tracker=str(spec), engine=engine)
@@ -124,6 +141,33 @@ class RunSpec:
         if spec_override is not None:
             return spec_override
         return normalize_engine(config.engine)
+
+    def _spec_stream_chunk(self) -> Optional[int]:
+        """The spec string's ``stream_chunk=`` override, if parseable."""
+        if self.instance is not None:
+            return None
+        return spec_stream_chunk(self.tracker)
+
+    def resolved_stream_chunk(self, config: SystemConfig) -> int:
+        """Streaming chunk for this run: explicit > spec > config."""
+        if self.stream_chunk is not None:
+            return self.stream_chunk
+        chunk_override = self._spec_stream_chunk()
+        if chunk_override is not None:
+            return chunk_override
+        return config.stream_chunk
+
+    def apply_stream_chunk(self, config: SystemConfig) -> SystemConfig:
+        """Config with this spec's streaming chunk resolved onto it.
+
+        Used by ``simulate_workload`` before trace construction so a
+        ``stream_chunk=`` spec parameter (or explicit RunSpec field)
+        changes how the trace is *built*, not just how it is keyed.
+        """
+        resolved = self.resolved_stream_chunk(config)
+        if resolved == config.stream_chunk:
+            return config
+        return config.with_stream_chunk(resolved)
 
     def build_tracker(self, config: SystemConfig) -> ActivationTracker:
         """The tracker instance this spec describes."""

@@ -67,7 +67,7 @@ from repro.sim.results import (
 from repro.sim.simulator import simulate_workload, trace_for_workload
 from repro.trackers.registry import canonical_spec
 from repro.workloads.characteristics import all_names
-from repro.workloads.trace import Trace
+from repro.workloads.streaming import TraceSource
 
 #: Bump to invalidate cached results when the model changes materially.
 MODEL_VERSION = "v1"
@@ -219,7 +219,7 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------
 
-    def trace_for(self, workload_name: str) -> Trace:
+    def trace_for(self, workload_name: str) -> TraceSource:
         return trace_for_workload(self.config, workload_name)
 
     def run(self, tracker_name: str, workload_name: str) -> RunResult:

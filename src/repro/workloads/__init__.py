@@ -19,6 +19,18 @@ from repro.workloads.synthetic import (
     SyntheticWorkloadGenerator,
     usable_rows,
 )
+from repro.workloads.streaming import (
+    DEFAULT_STREAM_CHUNK,
+    ChunkedTrace,
+    ExternalTraceReader,
+    TraceChunk,
+    TraceSource,
+    characterize_chunks,
+    materialize,
+    open_trace_source,
+    read_external_trace,
+    write_external_trace,
+)
 from repro.workloads.trace import (
     Trace,
     TraceStatistics,
@@ -29,11 +41,16 @@ from repro.workloads import attacks
 
 __all__ = [
     "BY_NAME",
+    "ChunkedTrace",
+    "DEFAULT_STREAM_CHUNK",
+    "ExternalTraceReader",
     "GeneratorConfig",
     "SUITES",
     "SyntheticWorkloadGenerator",
     "TABLE3",
     "Trace",
+    "TraceChunk",
+    "TraceSource",
     "TraceStatistics",
     "WorkloadCharacteristics",
     "all_names",
@@ -41,10 +58,15 @@ __all__ = [
     "attacks",
     "merge_traces",
     "characterize",
+    "characterize_chunks",
     "generate_gups",
     "gups_address_stream",
+    "materialize",
+    "open_trace_source",
+    "read_external_trace",
     "statistics_by_window",
     "trace_from_addresses",
     "usable_rows",
     "workload",
+    "write_external_trace",
 ]

@@ -127,11 +127,20 @@ class SyntheticWorkloadGenerator:
 
     def generate(self, workload: WorkloadCharacteristics) -> Trace:
         """Build the multi-window trace for one workload."""
-        config = self.config
-        windows: List[Trace] = []
-        for window_index in range(config.n_windows):
-            windows.append(self._generate_window(workload, window_index))
+        windows: List[Trace] = list(self.iter_windows(workload))
         return Trace.concatenate(windows, name=workload.name)
+
+    def iter_windows(self, workload: WorkloadCharacteristics):
+        """Yield the trace one tracking window at a time.
+
+        The streaming substrate's generation path: each window is an
+        independent seeded draw (``_stable_seed(seed, name, index)``),
+        so yielding them lazily and spooling to disk produces exactly
+        the arrays :meth:`generate` would concatenate — with peak
+        memory bounded by one window instead of ``n_windows``.
+        """
+        for window_index in range(self.config.n_windows):
+            yield self._generate_window(workload, window_index)
 
     # ------------------------------------------------------------------
 

@@ -110,6 +110,18 @@ class Trace:
         local_rows, bank_indices, channels = resolved
         return zip(gaps, rows, local_rows, bank_indices, channels, lines, writes)
 
+    def chunks(self):
+        """This trace as a single-chunk stream (TraceSource surface).
+
+        Lets every chunk-walking tool (streaming characterization,
+        format conversion, spooling) treat a whole-in-RAM trace and a
+        :class:`~repro.workloads.streaming.ChunkedTrace` uniformly.
+        The yielded chunk is a zero-copy view.
+        """
+        from repro.workloads.streaming import TraceChunk
+
+        yield TraceChunk.of(self)
+
     @property
     def total_lines(self) -> int:
         return int(self.lines.sum())
@@ -138,6 +150,17 @@ class Trace:
 
     @staticmethod
     def concatenate(traces: Sequence["Trace"], name: str = "trace") -> "Trace":
+        """Concatenate traces back-to-back into one new trace.
+
+        The inputs' lazily-built ``_columns``/``_resolved`` caches are
+        *not* carried over — the result starts with cold caches and
+        rebuilds them on first iteration. This is deliberate: the
+        caches are plain derivations of the array data (``tolist`` and
+        integer div/mod), so rebuilding cannot change any value — the
+        concatenated trace resolves topology identically to its parts
+        (pinned by ``tests/workloads/test_trace.py``). The same holds
+        for the merged traces :mod:`repro.workloads.mixes` builds.
+        """
         if not traces:
             raise ValueError("need at least one trace")
         return Trace(
@@ -196,20 +219,51 @@ def characterize(trace: Trace, hot_threshold: int = 250) -> TraceStatistics:
 def statistics_by_window(
     trace: Trace, window_ns: float, hot_threshold: int = 250
 ) -> Dict[int, TraceStatistics]:
-    """Per-window statistics, splitting by cumulative program time."""
+    """Per-window statistics, splitting by cumulative program time.
+
+    One vectorized pass over the window ids: requests are grouped by
+    window (stable, so in-window order is preserved), activations are
+    coalesced with the dedup restarting at each window boundary —
+    exactly as if each window were characterized as its own trace —
+    and the per-window slices are read off searchsorted boundaries.
+    The old implementation materialized a full sub-``Trace`` per
+    window (O(windows x N) masking and copying); this allocates O(N)
+    once, regardless of the window count.
+    """
     if window_ns <= 0:
         raise ValueError("window_ns must be positive")
+    n = len(trace)
+    if n == 0:
+        return {}
     arrival = np.cumsum(trace.gaps_ns)
     window_ids = (arrival // window_ns).astype(np.int64)
+    order = np.argsort(window_ids, kind="stable")
+    win = window_ids[order]
+    rows = trace.rows[order]
+    lines = trace.lines[order]
+    # First-chunk activation coalescing, restarted per window: a
+    # request is a new activation unless it repeats the previous row
+    # *within the same window* (each window characterizes as its own
+    # trace, so a row continuing across the boundary re-activates).
+    new_act = np.ones(n, dtype=bool)
+    new_act[1:] = (rows[1:] != rows[:-1]) | (win[1:] != win[:-1])
+    act_win = win[new_act]
+    act_rows = rows[new_act]
+    windows = np.unique(win)
+    starts = np.searchsorted(win, windows, side="left")
+    ends = np.searchsorted(win, windows, side="right")
+    act_starts = np.searchsorted(act_win, windows, side="left")
+    act_ends = np.searchsorted(act_win, windows, side="right")
     result: Dict[int, TraceStatistics] = {}
-    for window in np.unique(window_ids):
-        mask = window_ids == window
-        sub = Trace(
-            trace.gaps_ns[mask],
-            trace.rows[mask],
-            trace.lines[mask],
-            trace.writes[mask],
-            name=f"{trace.name}@w{window}",
+    for index, window in enumerate(windows.tolist()):
+        a0, a1 = int(act_starts[index]), int(act_ends[index])
+        unique, counts = np.unique(act_rows[a0:a1], return_counts=True)
+        activations = a1 - a0
+        result[int(window)] = TraceStatistics(
+            activations=activations,
+            unique_rows=int(len(unique)),
+            act250_rows=int((counts > hot_threshold).sum()),
+            acts_per_row=float(activations / len(unique)),
+            line_transfers=int(lines[starts[index] : ends[index]].sum()),
         )
-        result[int(window)] = characterize(sub, hot_threshold)
     return result

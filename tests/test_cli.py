@@ -95,6 +95,107 @@ class TestRunCommand:
         assert "execution time" in out
         assert "mitigations" in out
 
+    def test_workload_defaults_to_gups(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "GUPS"
+
+    def test_run_streamed_matches_materialized(self, capsys):
+        """--stream-chunk changes memory behaviour, not results."""
+        base_args = ["run", "leela", "--scale-denominator", "256"]
+        assert main(base_args) == 0
+        materialized = capsys.readouterr().out
+        assert main(base_args + ["--stream-chunk", "700"]) == 0
+        streamed = capsys.readouterr().out
+        assert streamed == materialized
+
+    def test_run_replays_trace_file(self, tmp_path, capsys):
+        trc = tmp_path / "small.trc"
+        assert main(
+            ["trace", "record", "leela", str(trc),
+             "--scale-denominator", "256"]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["run", "--trace-file", str(trc),
+             "--scale-denominator", "256", "--stream-chunk", "700"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload          : small" in out
+        assert "execution time" in out
+
+
+class TestTraceCommand:
+    def _record(self, destination, capsys):
+        assert main(
+            ["trace", "record", "leela", str(destination),
+             "--scale-denominator", "256", "--chunk", "500"]
+        ) == 0
+        return capsys.readouterr().out
+
+    def test_record_and_inspect_text(self, tmp_path, capsys):
+        trc = tmp_path / "leela.trc"
+        out = self._record(trc, capsys)
+        assert "external text" in out
+        assert trc.exists()
+        assert main(["trace", "inspect", str(trc)]) == 0
+        out = capsys.readouterr().out
+        assert "trace             : leela" in out
+        assert "activations" in out
+        assert "unique rows" in out
+
+    def test_convert_roundtrip_all_formats(self, tmp_path, capsys):
+        """text -> chunked -> npz -> text preserves the trace exactly."""
+        import numpy as np
+
+        from repro.workloads.streaming import read_external_trace
+
+        trc = tmp_path / "leela.trc"
+        self._record(trc, capsys)
+        chunked = tmp_path / "chunked"
+        assert main(
+            ["trace", "convert", str(trc), str(chunked), "--chunk", "500"]
+        ) == 0
+        npz = tmp_path / "leela.npz"
+        assert main(["trace", "convert", str(chunked), str(npz)]) == 0
+        back = tmp_path / "back.trc"
+        assert main(["trace", "convert", str(npz), str(back)]) == 0
+        capsys.readouterr()
+        original = read_external_trace(trc)
+        roundtripped = read_external_trace(back)
+        np.testing.assert_array_equal(roundtripped.gaps_ns, original.gaps_ns)
+        np.testing.assert_array_equal(roundtripped.rows, original.rows)
+        np.testing.assert_array_equal(roundtripped.lines, original.lines)
+        np.testing.assert_array_equal(roundtripped.writes, original.writes)
+
+    def test_head_slices_without_loading(self, tmp_path, capsys):
+        trc = tmp_path / "leela.trc"
+        self._record(trc, capsys)
+        assert main(
+            ["trace", "head", str(trc), "-n", "4", "--start", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = [
+            line for line in out.splitlines() if not line.startswith("#")
+        ]
+        assert len(payload) == 4
+        for line in payload:
+            fields = line.split()
+            assert len(fields) == 4
+            assert fields[1] in ("R", "W")
+
+    def test_inspect_chunked_matches_text(self, tmp_path, capsys):
+        trc = tmp_path / "leela.trc"
+        self._record(trc, capsys)
+        chunked = tmp_path / "chunked"
+        main(["trace", "convert", str(trc), str(chunked), "--chunk", "500"])
+        capsys.readouterr()
+        main(["trace", "inspect", str(trc)])
+        text_stats = capsys.readouterr().out.splitlines()[1:]
+        main(["trace", "inspect", str(chunked)])
+        chunked_stats = capsys.readouterr().out.splitlines()[1:]
+        assert chunked_stats == text_stats
+
 
 class TestAttackCommands:
     def test_list_attacks_prints_registry(self, capsys):

@@ -30,6 +30,26 @@ class TestTraceContainer:
         with pytest.raises(ValueError):
             Trace.concatenate([])
 
+    def test_concatenate_drops_caches_but_resolves_identically(self):
+        """Regression for the documented cache-drop contract: inputs
+        with warm ``_columns``/``_resolved`` caches produce a
+        cold-cache concatenation whose rebuilt topology is
+        bit-identical to streaming the parts back-to-back."""
+        a = Trace.from_rows([1, 130, 257], gap_ns=5.0)
+        b = Trace.from_rows([384, 2, 511], gap_ns=7.0)
+        # Warm both inputs' lazy caches before concatenating.
+        list(a.resolved_stream(128, 2))
+        list(b.resolved_stream(128, 2))
+        assert a._columns is not None and a._resolved
+        combined = Trace.concatenate([a, b])
+        assert combined._columns is None
+        assert combined._resolved == {}
+        expected = list(a.resolved_stream(128, 2)) + list(
+            b.resolved_stream(128, 2)
+        )
+        assert list(combined.resolved_stream(128, 2)) == expected
+        assert list(combined) == list(a) + list(b)
+
     def test_mismatched_arrays_rejected(self):
         with pytest.raises(ValueError):
             Trace(
@@ -79,6 +99,24 @@ class TestCharacterize:
         assert stats.line_transfers == 8
 
 
+def _brute_force_by_window(trace, window_ns, hot_threshold=250):
+    """The pre-optimization O(windows x N) reference: one sub-Trace
+    characterized per window."""
+    arrival = np.cumsum(trace.gaps_ns)
+    window_ids = (arrival // window_ns).astype(np.int64)
+    result = {}
+    for window in np.unique(window_ids):
+        mask = window_ids == window
+        sub = Trace(
+            gaps_ns=trace.gaps_ns[mask],
+            rows=trace.rows[mask],
+            lines=trace.lines[mask],
+            writes=trace.writes[mask],
+        )
+        result[int(window)] = characterize(sub, hot_threshold)
+    return result
+
+
 class TestWindowSplit:
     def test_statistics_by_window(self):
         trace = Trace.from_rows([1, 2, 3, 4], gap_ns=10.0)
@@ -90,3 +128,35 @@ class TestWindowSplit:
     def test_rejects_bad_window(self):
         with pytest.raises(ValueError):
             statistics_by_window(Trace.from_rows([1]), window_ns=0.0)
+
+    def test_empty_trace(self):
+        assert statistics_by_window(Trace.from_rows([]), window_ns=5.0) == {}
+
+    @pytest.mark.parametrize("window_ns", [5.0, 50.0, 333.3, 1e9])
+    def test_one_pass_matches_per_window_characterize(self, window_ns):
+        """The single-pass implementation must agree with the obvious
+        sub-Trace-per-window reference on every field, including the
+        dedup restart at window boundaries."""
+        rng = np.random.default_rng(11)
+        n = 3000
+        trace = Trace(
+            gaps_ns=rng.uniform(0.1, 15.0, n),
+            rows=rng.integers(0, 40, n, dtype=np.int64),  # many repeats
+            lines=rng.integers(1, 5, n).astype(np.int32),
+            writes=rng.random(n) < 0.5,
+        )
+        assert statistics_by_window(
+            trace, window_ns, hot_threshold=10
+        ) == _brute_force_by_window(trace, window_ns, hot_threshold=10)
+
+    def test_row_continuing_across_boundary_reactivates(self):
+        """A row spanning a window boundary counts as a fresh
+        activation in the new window (each window characterizes as its
+        own trace)."""
+        trace = Trace.from_rows([9, 9, 9, 9], gap_ns=10.0)
+        # Arrivals 10/20/30/40 land in windows 0, 1, 1, 2: the run of
+        # row 9 coalesces within window 1 but re-activates in each new
+        # window — 3 activations, where whole-trace coalescing gives 1.
+        by_window = statistics_by_window(trace, window_ns=20.0)
+        assert sum(s.activations for s in by_window.values()) == 3
+        assert by_window[1].activations == 1
