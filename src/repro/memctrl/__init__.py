@@ -1,14 +1,17 @@
 """Memory-controller layer: scheduling engines, tracker hook, mitigation.
 
-Two scheduling *engines* share one design
+Three scheduling *engines* share one design
 (:class:`~repro.memctrl.base.BaseMemoryController`: construction,
 tracker feedback, reporting): the fast in-order
 :class:`MemoryController` (``engine="fast"``, used for the large
-sweeps) and the discrete-event :class:`QueuedMemoryController`
+sweeps), the discrete-event :class:`QueuedMemoryController`
 (``engine="queued"``) with FR-FCFS read queues and a
-watermark-drained write queue. :func:`build_controller` selects one by
-name; every downstream consumer (``simulate``, sweeps, the result
-cache, benchmarks) is engine-agnostic.
+watermark-drained write queue, and the numpy-batched
+:class:`VectorMemoryController` (``engine="vector"``), bit-identical
+to ``fast`` but batching the hot path into array ops.
+:func:`build_controller` selects one by name; every downstream
+consumer (``simulate``, sweeps, the result cache, benchmarks) is
+engine-agnostic.
 """
 
 from typing import Optional
@@ -27,11 +30,13 @@ from repro.memctrl.controller import MemoryController
 from repro.memctrl.mitigation import MitigationStats, VictimRefreshPolicy
 from repro.memctrl.queued import QueuedMemoryController, QueuedStats
 from repro.memctrl.rowswap import RowIndirectionTable, RowSwapController
+from repro.memctrl.vector import VectorMemoryController
 
 #: Engine name -> controller class (the selectable-engine registry).
 ENGINE_CLASSES = {
     "fast": MemoryController,
     "queued": QueuedMemoryController,
+    "vector": VectorMemoryController,
 }
 
 
@@ -70,6 +75,7 @@ __all__ = [
     "QueuedStats",
     "RowIndirectionTable",
     "RowSwapController",
+    "VectorMemoryController",
     "VictimRefreshPolicy",
     "build_controller",
     "drive_in_order",

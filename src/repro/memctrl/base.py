@@ -1,10 +1,12 @@
 """Shared engine surface of the memory-controller layer.
 
-The repository ships two scheduling *engines* — the fast in-order
-:class:`~repro.memctrl.controller.MemoryController` and the
+The repository ships three scheduling *engines* — the fast in-order
+:class:`~repro.memctrl.controller.MemoryController`, the
 discrete-event FR-FCFS
-:class:`~repro.memctrl.queued.QueuedMemoryController` — which differ
-only in *how* requests are scheduled. Everything else is one design:
+:class:`~repro.memctrl.queued.QueuedMemoryController`, and the
+numpy-batched :class:`~repro.memctrl.vector.VectorMemoryController`
+(bit-identical to ``fast``) — which differ only in *how* requests are
+scheduled. Everything else is one design:
 
 - construction: banks, channel buses, rank activation windows, the
   refresh timeline, the victim-refresh policy, the tracker-feedback
@@ -44,7 +46,7 @@ from repro.memctrl.feedback import TrackerFeedback, WindowResetSchedule
 from repro.memctrl.mitigation import VictimRefreshPolicy
 
 #: The selectable scheduling engines, in documentation order.
-ENGINES: Tuple[str, ...] = ("fast", "queued")
+ENGINES: Tuple[str, ...] = ("fast", "queued", "vector")
 
 
 def normalize_engine(engine: str) -> str:

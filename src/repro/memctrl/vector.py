@@ -1,0 +1,1107 @@
+"""Vector engine: numpy slab-batched replay of the fast engine.
+
+``engine=vector`` reproduces the fast engine's results *bit for bit*
+(the golden-parity suite pins this) while doing the hot-path work in
+numpy slabs instead of per-request Python.  Per slab (``_SLAB``
+requests) the engine precomputes, as array ops:
+
+- the issue chain (``drive_in_order``'s program-order arrival times)
+  as a carry-prepended ``np.cumsum`` — numpy's cumsum accumulates
+  sequentially, so the float additions happen in the exact order the
+  scalar loop performs them;
+- the refresh-blackout adjustment and the *speculative* per-bank
+  activation chain: each miss is assumed conflict-free
+  (``act = adjust(t + tRP)``), and the sparse positions where that is
+  wrong (a same-bank predecessor still holds the bank — ~10% of
+  random traffic, clustered around refresh blackouts) are repaired
+  with the exact scalar arithmetic in ascending order, cascading
+  along per-bank successor links until the repair is absorbed;
+- the data-bus chain with the same speculate-then-repair scheme per
+  channel;
+- the MLP-window *bind* mask (``completion[i-mlp] > arrival[i]``) —
+  the one event that invalidates the cumsum basis, handled by a
+  scalar replay until the window clears plus a rebuild of the
+  time-dependent arrays for the slab's suffix.
+
+Crucially the bank/hit/channel *structure* of a slab is timing
+independent: which element hits, which bank it goes to and who its
+same-bank predecessor is depend only on the request stream.  So a
+tracker escape mid-slab invalidates nothing but the banks and
+channels the scalar excursion touched — those get exact scalar
+patches at their next occurrence (cascading while the patch changes
+anything) and the rest of the slab's array work stays committed.
+
+Tracker interaction goes through a per-slab *batch plan*
+(:meth:`repro.interfaces.ActivationTracker.plan_batch`): ``classify``
+finds the first activation that cannot be applied out of order (a
+mitigation, a GCT→RCT spill, metadata traffic), ``commit`` applies a
+clean segment wholesale.  Trackers without a specialized plan but
+with an ``apply_batch`` hook get the windowed :class:`_GenericPlan`
+adapter.  Escaping activations replay through the inherited scalar
+``access`` path — tracker, feedback worklist, victim refreshes and
+all — with the banks they touch synced lazily from the walked arrays
+via the overridden feedback hooks.
+
+Float exactness rests on three rules: sequential folds (total
+latency, per-channel bus busy time) are carry-prepended cumsums or
+in-order Python sums, never ``np.sum`` (which pairs); elementwise
+array ops apply the same IEEE operations the scalar loop applies; and
+every repaired/patched position recomputes with the exact scalar
+expressions from ``Bank.access``.
+
+Whole-run fallbacks (the engine silently behaves like ``fast``, which
+is bit-identical by the PR 4 parity guarantee): traces that do not
+expose ``chunks()``, timings with an active rank-activation window
+(``t_faw``/``t_rrd`` > 0) or ``t_rcd > t_rc``, trackers whose
+``apply_batch`` returns ``None`` (the default), and chunks containing
+negative gaps.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+
+import numpy as np
+
+from repro.memctrl.base import EngineRunOutcome
+from repro.memctrl.controller import MemoryController
+
+__all__ = ["VectorMemoryController"]
+
+#: Slab size cap: big enough to amortize the structural work (argsort,
+#: chain links, per-bank position lists) over many requests.  The
+#: time-dependent arrays are NOT built slab-at-once: ``build_times``
+#: stops at a horizon just past the next refresh blackout (blackouts
+#: spawn MLP-bind drains that would invalidate anything built beyond
+#: them), and the walk rebuilds from there when it arrives.
+_SLAB = 2048
+
+#: Elements built past a blackout's end at each horizon: enough to
+#: contain the bind cluster the blackout causes plus its drain.
+_SLAB_TAIL = 64
+
+_EMPTY_ROWS = np.empty(0, dtype=np.int64)
+
+
+def _adjust_sorted(x: np.ndarray, t_refi: float, t_rfc: float) -> np.ndarray:
+    """Refresh-blackout adjust of an ascending time array, bit-exact.
+
+    Equals the scalar ``off = v % t_refi; v + (t_rfc - off) if off <
+    t_rfc else v`` per element: ``t_refi * k`` is an exact product and
+    the difference ``v - t_refi*k`` is small relative to ``v``, so the
+    float subtraction is exact and equal to ``fmod``'s remainder — the
+    patched expression then performs the scalar path's own IEEE ops.
+    Since ``x`` is ascending, each refresh window's affected span is a
+    contiguous slice found by two binary searches, replacing a full
+    modulo + select over the array.
+    """
+    out = x.copy()
+    k_hi = int(x[-1] / t_refi) + 1
+    for k in range(max(0, int(x[0] / t_refi) - 1), k_hi + 1):
+        base = t_refi * k
+        lo = int(x.searchsorted(base))
+        hi = int(x.searchsorted(base + t_rfc))
+        if hi > lo:
+            xw = x[lo:hi]
+            out[lo:hi] = xw + (t_rfc - (xw - base))
+    return out
+
+
+class _GenericPlan:
+    """Batch plan adapter over a tracker's ``apply_batch`` hook.
+
+    Used for trackers that opt into batching (``apply_batch`` returns
+    a mask) but do not provide a specialized ``plan_batch``.
+    Classification runs over a bounded window because an escape
+    replay invalidates any earlier classification.
+    """
+
+    WINDOW = 1024
+
+    def __init__(self, tracker, rows) -> None:
+        self._apply = tracker.apply_batch
+        self._rows = rows
+
+    def classify(self, lo: int, hi: int):
+        """First escape in [lo, hi) → ``(index, checked_hi)``.
+
+        ``index`` is -1 if the checked prefix is clean, -2 if the
+        tracker withdrew batching (``apply_batch`` returned None).
+        """
+        win_hi = min(hi, lo + self.WINDOW)
+        flags = self._apply(self._rows[lo:win_hi], None, commit=False)
+        if flags is None:
+            return -2, win_hi
+        if flags.any():
+            return lo + int(np.argmax(flags)), win_hi
+        return -1, win_hi
+
+    def commit(self, lo: int, hi: int, skip) -> None:
+        """Apply [lo, hi) minus the ``skip`` positions (row hits)."""
+        if skip:
+            keep = np.ones(hi - lo, dtype=bool)
+            keep[np.asarray(skip, dtype=np.int64) - lo] = False
+            rows = self._rows[lo:hi][keep]
+        else:
+            rows = self._rows[lo:hi]
+        if not len(rows):
+            return
+        mask = self._apply(rows, None, commit=True)
+        if mask is None or mask.any():
+            raise RuntimeError(
+                "apply_batch refused to commit a batch it classified"
+                " as escape-free"
+            )
+
+
+class VectorMemoryController(MemoryController):
+    """Numpy-batched in-order controller, bit-identical to ``fast``."""
+
+    engine = "vector"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: Non-None while the vector loop runs: banks/channels the
+        #: current scalar excursion touched (feedback hooks record
+        #: them so the engine knows which speculative chains to patch
+        #: afterwards).
+        self._vec_touched = None
+        self._vec_touched_ch = None
+        #: Lazily syncs one bank object from the walked arrays before
+        #: a feedback hook operates on it.
+        self._vec_sync = None
+
+    # ------------------------------------------------------------------
+    # Engine protocol
+    # ------------------------------------------------------------------
+
+    def run_trace(self, trace, mlp: int = 16) -> EngineRunOutcome:
+        if mlp <= 0:
+            raise ValueError("mlp must be positive")
+        timing = self.timing
+        batchable = (
+            getattr(trace, "chunks", None) is not None
+            and timing.t_faw == 0
+            and timing.t_rrd == 0
+            and timing.t_rcd <= timing.t_rc
+            and timing.t_rfc < timing.t_refi
+            and self.tracker.apply_batch(_EMPTY_ROWS, None, commit=False)
+            is not None
+        )
+        if not batchable:
+            return super().run_trace(trace, mlp)
+        try:
+            self._vec_touched = set()
+            self._vec_touched_ch = set()
+            return self._run_vector(trace, mlp)
+        finally:
+            self._vec_touched = None
+            self._vec_touched_ch = None
+            self._vec_sync = None
+
+    # FeedbackHandler hooks: during vector execution, bank objects are
+    # synced lazily from the walked arrays, so slow-path work that is
+    # about to *use* a bank pulls it up to date first (and records it,
+    # so its speculative successors get patched afterwards).
+
+    def perform_meta_access(self, meta, at: float) -> bool:
+        touched = self._vec_touched
+        if touched is not None:
+            bank = meta.row_id // self._rows_per_bank
+            self._vec_sync(bank)
+            touched.add(bank)
+            self._vec_touched_ch.add(bank // self._banks_per_channel)
+        return super().perform_meta_access(meta, at)
+
+    def perform_victim_refresh(self, victim_row: int, at: float) -> bool:
+        touched = self._vec_touched
+        if touched is not None:
+            bank = victim_row // self._rows_per_bank
+            self._vec_sync(bank)
+            touched.add(bank)
+        return super().perform_victim_refresh(victim_row, at)
+
+    # ------------------------------------------------------------------
+    # Vector path
+    # ------------------------------------------------------------------
+
+    def _run_vector(self, trace, mlp: int) -> EngineRunOutcome:
+        banks = self.banks
+        buses = self.buses
+        stats = self.stats
+        tracker = self.tracker
+        window_sched = self._window
+        access = self.access
+        nb = len(banks)
+        nchan = len(buses)
+        bpc = self._banks_per_channel
+        rows_per_bank = self._rows_per_bank
+        timing = self.timing
+        t_refi = timing.t_refi
+        t_rfc = timing.t_rfc
+        t_rc = timing.t_rc
+        t_rp = timing.t_rp
+        t_rcd = timing.t_rcd
+        t_cas = timing.t_cas
+        t_burst = timing.t_burst
+        touched = self._vec_touched
+        touched_ch = self._vec_touched_ch
+
+        # Run state mirroring the fused scalar loop exactly.
+        window = [0.0] * mlp
+        issue = 0.0
+        total_latency = 0.0
+        count = 0
+        next_reset = window_sched.next_reset
+
+        plan_of = getattr(tracker, "plan_batch", None)
+
+        def make_plan(rows):
+            plan = plan_of(rows) if plan_of is not None else None
+            return plan if plan is not None else _GenericPlan(tracker, rows)
+
+        for chunk in trace.chunks():
+            g_c = np.asarray(chunk.gaps_ns, dtype=np.float64)
+            n_c = len(g_c)
+            if n_c == 0:
+                continue
+            r_c = np.asarray(chunk.rows, dtype=np.int64)
+            l_c = np.asarray(chunk.lines, dtype=np.int32)
+            w_c = np.asarray(chunk.writes, dtype=bool)
+
+            if bool(np.any(g_c < 0.0)):
+                # Negative gaps break the monotone cumsum basis; the
+                # whole chunk replays scalarly (bank/bus objects are
+                # authoritative between slabs).
+                for i in range(n_c):
+                    earliest = issue + g_c[i]
+                    slot = count % mlp
+                    start = window[slot]
+                    if start < earliest:
+                        start = earliest
+                    issue = start
+                    done = access(
+                        start, int(r_c[i]), int(l_c[i]), bool(w_c[i])
+                    )
+                    window[slot] = done
+                    total_latency += done - start
+                    count += 1
+                next_reset = window_sched.next_reset
+                continue
+
+            base = 0
+            while base < n_c:
+                # ============ one slab ============
+                m = min(n_c - base, _SLAB)
+                hi_c = base + m
+                r_s = r_c[base:hi_c]
+                l_s = l_c[base:hi_c]
+                w_s = w_c[base:hi_c]
+                g_s = g_c[base:hi_c]
+
+                # ---- timing-independent structure ----
+                bk = r_s // rows_per_bank
+                lr = r_s - bk * rows_per_bank
+                d = l_s * t_burst
+                order = np.argsort(bk, kind="stable")
+                sbk = bk[order]
+                run_start = np.empty(m, dtype=bool)
+                run_start[0] = True
+                if m > 1:
+                    run_start[1:] = sbk[1:] != sbk[:-1]
+                prev_s = np.empty(m, dtype=np.int64)
+                prev_s[0] = -1
+                if m > 1:
+                    prev_s[1:] = order[:-1]
+                prev_s[run_start] = -1
+                psb = np.empty(m, dtype=np.int64)
+                psb[order] = prev_s
+                # Per-bank program-ordered position arrays (for lazy
+                # object sync and successor lookup after escapes).
+                starts = np.nonzero(run_start)[0].tolist()
+                starts.append(m)
+                gp = [None] * nb
+                for k in range(len(starts) - 1):
+                    gp[int(sbk[starts[k]])] = order[
+                        starts[k] : starts[k + 1]
+                    ]
+                # Open-row-before and the hit mask.  Every demand
+                # element (hit or miss) leaves its own row open, so
+                # open_before is simply the previous same-bank local
+                # row; entering positions compare against the object
+                # (authoritative at slab entry).
+                open_before = lr[np.maximum(psb, 0)]
+                hit = (open_before == lr) & (psb >= 0)
+                for p in np.nonzero(psb < 0)[0].tolist():
+                    orow = banks[int(bk[p])].open_row
+                    if orow is not None and orow == int(lr[p]):
+                        hit[p] = True
+                miss = ~hit
+                # Previous-miss-same-bank links (the activation chain
+                # skips hits: they change neither next-act nor
+                # row-ready).  Encoding trick: bank-offset positions
+                # keep maximum.accumulate from crossing bank runs.
+                enc = np.where(miss[order], order + 1, 0) + sbk * np.int64(
+                    m + 1
+                )
+                acc = np.maximum.accumulate(enc)
+                accs = np.empty(m, dtype=np.int64)
+                accs[0] = 0
+                if m > 1:
+                    accs[1:] = acc[:-1]
+                rel = accs - sbk * np.int64(m + 1)
+                plm_s = np.where(rel > 0, rel - 1, np.int64(-1))
+                plm = np.empty(m, dtype=np.int64)
+                plm[order] = plm_s
+                # Forward links of the same chain (next miss, same
+                # bank): conflict repairs in ``build_times`` propagate
+                # down these, and each miss has at most one successor.
+                nmm = np.full(m, -1, dtype=np.int64)
+                vpl = miss & (plm >= 0)
+                nmm[plm[vpl]] = np.nonzero(vpl)[0]
+                nmm_l = nmm.tolist()
+                # Channel structure: per-channel program-ordered
+                # positions and prev/next links (banks are contiguous
+                # per channel, but program order within a channel is
+                # not the bank-sorted order).
+                ch = bk // bpc
+                pc = np.full(m, -1, dtype=np.int64)
+                ncx = np.full(m, -1, dtype=np.int64)
+                cpos = [None] * nchan
+                cpos_l = [None] * nchan
+                cd_l = [None] * nchan
+                for ci in range(nchan):
+                    posc = np.nonzero(ch == ci)[0]
+                    cpos[ci] = posc
+                    cpos_l[ci] = posc.tolist()
+                    cd_l[ci] = d[posc].tolist()
+                    if len(posc) > 1:
+                        pc[posc[1:]] = posc[:-1]
+                        ncx[posc[:-1]] = posc[1:]
+                gp_l = [None if p is None else p.tolist() for p in gp]
+                act_banks = [
+                    b for b in range(nb) if gp_l[b] is not None
+                ]
+
+                s_cum_lines = np.empty(m + 1, dtype=np.int64)
+                s_cum_lines[0] = 0
+                s_cum_lines[1:] = np.cumsum(l_s, dtype=np.int64)
+                m_cum = np.empty(m + 1, dtype=np.int64)
+                m_cum[0] = 0
+                m_cum[1:] = np.cumsum(miss)
+                lr_l = lr.tolist()
+                bk_l = bk.tolist()
+                d_l = d.tolist()
+                synced_to = [0] * nb
+                count0 = count  # global count at slab element 0
+                bind_list: list = []
+                forced: list = []
+                noopen_set: set = set()
+                reset_idx = m
+                # Time-dependent arrays, filled by build_times().
+                s = t = a = col = fd = c = None
+                cur_pos = [0]  # walk frontier, read by sync_bank
+                built = [0]  # build horizon, set by build_times
+
+                def sync_bank(b: int) -> None:
+                    """Bring bank object ``b`` up to date with the arrays.
+
+                    Only committed (never replayed) elements are read:
+                    a replayed element always bumps ``synced_to`` for
+                    its own bank past itself immediately.
+                    """
+                    posb = gp_l[b]
+                    if posb is None:
+                        return
+                    lo_b = synced_to[b]
+                    p_now = cur_pos[0]
+                    if lo_b >= p_now:
+                        return
+                    k1 = bisect_left(posb, p_now)
+                    k0 = bisect_left(posb, lo_b)
+                    synced_to[b] = p_now
+                    if k1 <= k0:
+                        return
+                    bank = banks[b]
+                    jl = int(posb[k1 - 1])
+                    bank.open_row = lr_l[jl]
+                    k = k1 - 1
+                    while k >= k0:
+                        j = int(posb[k])
+                        if not hit[j]:
+                            av = a[j]
+                            bank._next_act_at = av + t_rc
+                            bank._row_ready_at = av + t_rcd
+                            break
+                        k -= 1
+
+                self._vec_sync = sync_bank
+
+                def sync_active() -> None:
+                    """``sync_bank`` over every active bank, inlined.
+
+                    Builds re-sync all banks at once (hundreds of
+                    times per slab), so the per-call overhead of the
+                    scalar helper is worth hoisting into one loop.
+                    """
+                    p_now = cur_pos[0]
+                    for b in act_banks:
+                        if synced_to[b] >= p_now:
+                            continue
+                        posb = gp_l[b]
+                        lo_b = synced_to[b]
+                        k1 = bisect_left(posb, p_now)
+                        k0 = bisect_left(posb, lo_b)
+                        synced_to[b] = p_now
+                        if k1 <= k0:
+                            continue
+                        bank = banks[b]
+                        jl = posb[k1 - 1]
+                        bank.open_row = lr_l[jl]
+                        k = k1 - 1
+                        while k >= k0:
+                            j = posb[k]
+                            if not hit[j]:
+                                av = a[j]
+                                bank._next_act_at = av + t_rc
+                                bank._row_ready_at = av + t_rcd
+                                break
+                            k -= 1
+
+                def bus_recompute(p: int) -> bool:
+                    """Recompute c[p] from the chain; True if changed.
+
+                    A pending predecessor chains through ``c``; an
+                    executed one defers to the bus object — scalar
+                    excursions can push ``free_at`` past the last
+                    demand completion (metadata bursts), and only the
+                    object knows.  Stops at the build horizon: the
+                    arrays beyond it are rebuilt from the objects
+                    before the walk gets there.
+                    """
+                    if p >= built[0]:
+                        return False
+                    prev = int(pc[p])
+                    if prev >= cur_pos[0]:
+                        base_c = c[prev]
+                    else:
+                        base_c = buses[bk_l[p] // bpc].free_at
+                    f = fd[p]
+                    x = f if f >= base_c else base_c
+                    new_c = x + d_l[p]
+                    if new_c != c[p]:
+                        c[p] = new_c
+                        j2 = p + mlp
+                        if j2 < built[0] and c[p] > s[j2]:
+                            k2 = bisect_left(bind_list, j2)
+                            if k2 == len(bind_list) or bind_list[k2] != j2:
+                                insort(bind_list, j2)
+                        return True
+                    return False
+
+                def bus_cascade(p: int) -> None:
+                    while p >= 0 and bus_recompute(p):
+                        p = int(ncx[p])
+
+                def bus_patch(ci: int, after: int) -> None:
+                    """Reflect an excursion's bus occupancy in the chain.
+
+                    The first element of channel ``ci`` after ``after``
+                    re-bases on the bus object's ``free_at`` (which the
+                    excursion just advanced — ``bus_recompute`` reads
+                    the object for executed predecessors); the rest
+                    re-chains until absorbed.
+                    """
+                    posc = cpos_l[ci]
+                    k = bisect_left(posc, after + 1)
+                    if k < len(posc):
+                        bus_cascade(posc[k])
+
+                def patch_bank(b: int, after: int) -> None:
+                    """Re-verify bank ``b``'s chain after a scalar excursion.
+
+                    The bank object is authoritative (the excursion
+                    just updated it); walk the bank's occurrences after
+                    ``after``, re-deriving hit/act/column with the
+                    exact scalar arithmetic, until absorbed.
+                    """
+                    posb = gp_l[b]
+                    if posb is None:
+                        return
+                    k = bisect_left(posb, after + 1)
+                    n_pos = len(posb)
+                    bank = banks[b]
+                    orow = bank.open_row
+                    row_c = -1 if orow is None else orow
+                    na_c = bank._next_act_at
+                    rr_c = bank._row_ready_at
+                    while k < n_pos:
+                        p = int(posb[k])
+                        if p >= built[0]:
+                            # Beyond the build horizon: nothing
+                            # speculative exists to patch yet.
+                            return
+                        new_hit = row_c == lr_l[p]
+                        if new_hit != bool(hit[p]):
+                            # Structure flip (a refresh closed the row
+                            # or changed it): force this element down
+                            # the scalar path and stop patching.
+                            kf = bisect_left(forced, p)
+                            if kf == len(forced) or forced[kf] != p:
+                                insort(forced, p)
+                            return
+                        changed = False
+                        t_p = t[p]
+                        if new_hit:
+                            cs = t_p if t_p >= rr_c else rr_c
+                        else:
+                            x = t_p if t_p >= na_c else na_c
+                            if row_c >= 0:
+                                if rr_c > x:
+                                    x = rr_c
+                                x += t_rp
+                                noopen_set.discard(p)
+                            else:
+                                noopen_set.add(p)
+                            off = x % t_refi
+                            if off < t_rfc:
+                                x += t_rfc - off
+                            if x != a[p]:
+                                a[p] = x
+                                changed = True
+                            na_c = x + t_rc
+                            rr_c = x + t_rcd
+                            cs = x + t_rcd
+                        row_c = lr_l[p]
+                        if cs != col[p]:
+                            col[p] = cs
+                            fd[p] = cs + t_cas
+                            changed = True
+                            bus_cascade(p)
+                        if not changed:
+                            return
+                        k += 1
+
+                def build_times(q: int) -> None:
+                    """(Re)compute the time-dependent arrays from ``q``.
+
+                    Needs every bank/bus object authoritative through
+                    position ``q``; for q > 0 the banks are synced
+                    here (replays already updated the ones they hit).
+
+                    Arrivals ``s`` are written for the whole suffix
+                    (one cheap cumsum, and ``reset_idx`` needs them),
+                    but the expensive derived arrays stop at a
+                    *horizon* just past the next refresh blackout:
+                    blackouts spawn bind drains whose rebuild would
+                    throw that work away.  ``built[0]`` records the
+                    horizon; the walk never commits past it and
+                    rebuilds from it on arrival.  Beyond the horizon
+                    ``s`` is a lower bound on the true arrivals
+                    (undetected binds only push them later), which
+                    keeps the full-suffix ``reset_idx`` sound: below
+                    the horizon it is exact; if it lands at/after the
+                    horizon the walk rebuilds there first, and an
+                    at-horizon hit is provably the true reset element
+                    (its speculative arrival already crossed
+                    ``next_reset``, so the true one has too).
+                    """
+                    nonlocal s, t, a, col, fd, c, reset_idx
+                    if q >= m:
+                        built[0] = m
+                        return
+                    if q:
+                        cur_pos[0] = q
+                        sync_active()
+                    n_r = m - q
+                    arr = np.empty(n_r + 1, dtype=np.float64)
+                    arr[0] = issue
+                    arr[1:] = g_s[q:]
+                    s_r = np.cumsum(arr)[1:]
+                    if q == 0:
+                        s = s_r
+                        t = np.empty(m, dtype=np.float64)
+                        a = np.empty(m, dtype=np.float64)
+                        col = np.empty(m, dtype=np.float64)
+                        fd = np.empty(m, dtype=np.float64)
+                        c = np.empty(m, dtype=np.float64)
+                    else:
+                        s[q:] = s_r
+                    reset_idx = q + int(
+                        np.searchsorted(s_r, next_reset, "left")
+                    )
+                    bu = m
+                    if n_r > _SLAB_TAIL:
+                        blk = t_refi * (float(s_r[0]) // t_refi + 1.0)
+                        cut = (
+                            int(s_r.searchsorted(blk + t_rfc))
+                            + _SLAB_TAIL
+                        )
+                        if cut < n_r:
+                            bu = q + cut
+                    built[0] = bu
+                    t_r = _adjust_sorted(s_r[: bu - q], t_refi, t_rfc)
+                    cand_r = _adjust_sorted(t_r + t_rp, t_refi, t_rfc)
+                    t[q:bu] = t_r
+                    a[q:bu] = cand_r
+                    # Conflict speculation repair.  Entering misses
+                    # (no in-span predecessor) evaluate against their
+                    # bank object, exactly as Bank.access's miss path.
+                    plm_r = plm[q:bu]
+                    in_chain = plm_r >= q
+                    m_r = miss[q:bu]
+                    a_loc = a[q:bu]
+                    ent = np.nonzero(m_r & ~in_chain)[0]
+                    if ent.size:
+                        xs = []
+                        for rel, x in zip(
+                            ent.tolist(), t_r[ent].tolist()
+                        ):
+                            p = rel + q
+                            bank = banks[bk_l[p]]
+                            na = bank._next_act_at
+                            if x < na:
+                                x = na
+                            if bank.open_row is not None:
+                                rr = bank._row_ready_at
+                                if rr > x:
+                                    x = rr
+                                x += t_rp
+                                noopen_set.discard(p)
+                            else:
+                                noopen_set.add(p)
+                            off = x % t_refi
+                            if off < t_rfc:
+                                x += t_rfc - off
+                            xs.append(x)
+                        a_loc[ent] = xs
+                    # In-chain conflicts (predecessor still holds the
+                    # bank): a conflicted miss takes adjust((a_pred +
+                    # t_rc) + t_rp) — the same float additions, in the
+                    # same order, as the scalar miss path (the
+                    # row-ready term a_pred + t_rcd never binds; it is
+                    # dominated by a_pred + t_rc).  One vectorized
+                    # pass handles the initial conflict wave; repairs
+                    # only push activations later (monotone), so the
+                    # few elements whose value changed can at most
+                    # flip their chain successor — those propagate in
+                    # a scalar walk down the ``nmm_l`` links, in
+                    # Python floats (the same IEEE adds).
+                    ch_i = np.nonzero(m_r & in_chain)[0]
+                    if ch_i.size:
+                        pred_i = plm_r[ch_i] - q
+                        t_ch = t_r[ch_i]
+                        na = a_loc[pred_i] + t_rc
+                        conf = na > t_ch
+                        if conf.any():
+                            x = na[conf] + t_rp
+                            off = np.fmod(x, t_refi)
+                            x = np.where(
+                                off < t_rfc, x + (t_rfc - off), x
+                            )
+                            tgt = ch_i[conf]
+                            ch_m = (tgt + q).tolist()
+                            if noopen_set:
+                                noopen_set.difference_update(ch_m)
+                            chg = a_loc[tgt] != x
+                            a_loc[tgt] = x
+                            stack = (
+                                [
+                                    p
+                                    for p, cg in zip(
+                                        ch_m, chg.tolist()
+                                    )
+                                    if cg
+                                ]
+                                if chg.any()
+                                else []
+                            )
+                            while stack:
+                                j = stack.pop()
+                                k = nmm_l[j]
+                                if k < 0 or k >= bu:
+                                    continue
+                                na_k = float(a[j]) + t_rc
+                                if na_k <= float(t[k]):
+                                    continue
+                                xk = na_k + t_rp
+                                off_k = xk % t_refi
+                                if off_k < t_rfc:
+                                    xk += t_rfc - off_k
+                                if noopen_set:
+                                    noopen_set.discard(k)
+                                if xk != float(a[k]):
+                                    a[k] = xk
+                                    stack.append(k)
+                    # Columns / first-data (vector, from repaired a).
+                    a_pred = a[np.maximum(plm_r, 0)]
+                    col[q:bu] = np.where(
+                        hit[q:bu],
+                        np.maximum(t_r, a_pred + t_rcd),
+                        a[q:bu] + t_rcd,
+                    )
+                    # Entering hits: row-ready comes from the object.
+                    enth = np.nonzero(hit[q:bu] & ~in_chain)[0]
+                    if enth.size:
+                        cs = []
+                        for rel, t_p in zip(
+                            enth.tolist(), t_r[enth].tolist()
+                        ):
+                            rr = banks[bk_l[rel + q]]._row_ready_at
+                            cs.append(t_p if t_p >= rr else rr)
+                        col[q:bu][enth] = cs
+                    fd[q:bu] = col[q:bu] + t_cas
+                    c[q:bu] = fd[q:bu] + d[q:bu]
+                    # Bus chain repairs, exact but sparse: the scalar
+                    # recurrence c[k] = max(fd[k], c[k-1]) + d[k]
+                    # matches the speculative fd + d except inside
+                    # busy runs (c[k] = c[k-1] + d[k]).  Run starts
+                    # are the spec-vs-spec violations (one nonzero per
+                    # channel); runs themselves walk in Python floats
+                    # — the same IEEE adds the scalar loop performs.
+                    for ci in range(nchan):
+                        kq = bisect_left(cpos_l[ci], q)
+                        kb = bisect_left(cpos_l[ci], bu)
+                        posr = cpos[ci][kq:kb]
+                        n_p = len(posr)
+                        if n_p == 0:
+                            continue
+                        fd_loc = fd[posr]
+                        c_loc = c[posr]
+                        viol0 = np.empty(n_p, dtype=bool)
+                        viol0[0] = fd_loc[0] < buses[ci].free_at
+                        if n_p > 1:
+                            viol0[1:] = fd_loc[1:] < c_loc[:-1]
+                        vidx = np.nonzero(viol0)[0].tolist()
+                        if not vidx:
+                            continue
+                        c_l = c_loc.tolist()
+                        fd_ll = fd_loc.tolist()
+                        d_ll = d[posr].tolist()
+                        for iv in vidx:
+                            if iv == 0:
+                                carry = buses[ci].free_at
+                            else:
+                                carry = c_l[iv - 1]
+                            i = iv
+                            if fd_ll[i] >= carry:
+                                # Already handled inside an earlier
+                                # run that overran this start.
+                                continue
+                            while i < n_p and fd_ll[i] < carry:
+                                carry = carry + d_ll[i]
+                                c_l[i] = carry
+                                i += 1
+                        c[posr] = c_l
+                    # MLP-window bind candidates (built range only;
+                    # later ones are re-detected at the next horizon).
+                    bind_list.clear()
+                    if q < mlp:
+                        for j in range(q, min(mlp, bu)):
+                            if window[(count0 + j) % mlp] > s[j]:
+                                bind_list.append(j)
+                    lo_j = max(q, mlp)
+                    if lo_j < bu:
+                        bm = np.nonzero(
+                            c[lo_j - mlp : bu - mlp] > s[lo_j:bu]
+                        )[0]
+                        bind_list.extend((bm + lo_j).tolist())
+
+                # Per-slab deferred bank statistics.
+                segs = []
+
+                def commit_segment(lo: int, e: int) -> None:
+                    nonlocal issue, count, total_latency
+                    if e <= lo:
+                        return
+                    plan.commit(lo, e, _hits_in(hit, lo, e))
+                    seg_n = e - lo
+                    stats.demand_accesses += seg_n
+                    stats.demand_line_transfers += int(
+                        s_cum_lines[e] - s_cum_lines[lo]
+                    )
+                    stats.tracker_activations += int(m_cum[e] - m_cum[lo])
+                    segs.append((lo, e))
+                    first = e - mlp if seg_n >= mlp else lo
+                    if seg_n <= 128:
+                        # Small segment: fold in Python (same float
+                        # adds in the same order as the cumsum below;
+                        # numpy dispatch would dominate at this size).
+                        c_l = c[lo:e].tolist()
+                        s_l = s[lo:e].tolist()
+                        acc = total_latency
+                        mx = self.end_time
+                        for cv, sv in zip(c_l, s_l):
+                            acc += cv - sv
+                            if cv > mx:
+                                mx = cv
+                        total_latency = acc
+                        self.end_time = mx
+                        # Ring: the last min(mlp, n) completions land
+                        # in their slots (older ones were overwritten
+                        # anyway).
+                        for j in range(first, e):
+                            window[(count0 + j) % mlp] = c_l[j - lo]
+                    else:
+                        # Latency fold: sequential cumsum with carry.
+                        arr = np.empty(seg_n + 1, dtype=np.float64)
+                        arr[0] = total_latency
+                        arr[1:] = c[lo:e] - s[lo:e]
+                        total_latency = float(np.cumsum(arr)[-1])
+                        seg_max = float(np.max(c[lo:e]))
+                        if seg_max > self.end_time:
+                            self.end_time = seg_max
+                        for j in range(first, e):
+                            window[(count0 + j) % mlp] = float(c[j])
+                    # Bus objects advance to the segment's last element
+                    # per channel (free_at) and fold the segment's
+                    # burst durations in order (busy_time).
+                    for ci in range(nchan):
+                        posc = cpos_l[ci]
+                        k1 = bisect_left(posc, e)
+                        k0 = bisect_left(posc, lo)
+                        if k1 > k0:
+                            bus = buses[ci]
+                            bus.free_at = float(c[posc[k1 - 1]])
+                            acc_b = bus.busy_time
+                            dl = cd_l[ci]
+                            for k in range(k0, k1):
+                                acc_b += dl[k]
+                            bus.busy_time = acc_b
+                    issue = float(s[e - 1])
+                    count = count0 + e
+
+                def replay_one(r: int, do_patch: bool = True) -> bool:
+                    """Scalar-replay element ``r``; returns bound flag.
+
+                    Runs the full scalar path — tracker, feedback
+                    worklist, window resets — then patches the touched
+                    banks' and channels' speculative chains (skipped
+                    when the element bound, or during a bind drain: a
+                    suffix rebuild follows anyway).
+                    """
+                    nonlocal issue, count, total_latency, next_reset
+                    cur_pos[0] = r
+                    b = bk_l[r]
+                    sync_bank(b)
+                    synced_to[b] = r + 1
+                    touched.clear()
+                    touched_ch.clear()
+                    # Arrival from the running issue recurrence, not
+                    # s[r]: after a bound predecessor the precomputed
+                    # arrivals are stale.  Where s[r] is valid the two
+                    # are bit-identical (cumsum adds sequentially).
+                    earliest = issue + float(g_s[r])
+                    slot = (count0 + r) % mlp
+                    start = window[slot]
+                    bound = start > earliest
+                    if not bound:
+                        start = earliest
+                    issue = start
+                    done = access(
+                        start, int(r_s[r]), int(l_s[r]), bool(w_s[r])
+                    )
+                    window[slot] = done
+                    total_latency += done - start
+                    count = count0 + r + 1
+                    c[r] = done
+                    s[r] = start
+                    next_reset = window_sched.next_reset
+                    cur_pos[0] = r + 1
+                    for tb in touched:
+                        synced_to[tb] = r + 1
+                    if do_patch and not bound:
+                        patch_bank(b, r)
+                        for tb in touched:
+                            if tb != b:
+                                patch_bank(tb, r)
+                        touched_ch.add(b // bpc)
+                        for ci in touched_ch:
+                            bus_patch(ci, r)
+                        j2 = r + mlp
+                        if j2 < built[0] and c[r] > s[j2]:
+                            k2 = bisect_left(bind_list, j2)
+                            if k2 == len(bind_list) or bind_list[k2] != j2:
+                                insort(bind_list, j2)
+                    return bound
+
+                def drain_bind(p0: int) -> int:
+                    """Replay from a bind until the window clears, then
+                    re-vectorize the slab's suffix."""
+                    p = p0
+                    streak = 0
+                    while p < m:
+                        if replay_one(p, False):
+                            streak = 0
+                        else:
+                            streak += 1
+                            if streak >= 2:
+                                p += 1
+                                break
+                        p += 1
+                    build_times(p)
+                    return p
+
+                plan = make_plan(r_s)
+                build_times(0)
+
+                # ---- the walk ----
+                pos = 0
+                while pos < m:
+                    cur_pos[0] = pos
+                    if pos >= built[0]:
+                        # Arrived at the build horizon: extend it.
+                        build_times(pos)
+                    # Next verified bind at/after pos (candidates are
+                    # add-only; staleness is filtered here).
+                    bound_at = m
+                    while bind_list and bind_list[0] < pos:
+                        bind_list.pop(0)
+                    while bind_list:
+                        j = bind_list[0]
+                        if j < mlp:
+                            wv = window[(count0 + j) % mlp]
+                        else:
+                            wv = c[j - mlp]
+                        if wv > s[j]:
+                            bound_at = j
+                            break
+                        bind_list.pop(0)
+                    lim = min(m, reset_idx, bound_at, built[0])
+                    while forced and forced[0] < pos:
+                        forced.pop(0)
+                    f_esc = forced[0] if forced else m
+                    esc = -1
+                    checked = lim
+                    if lim > pos:
+                        esc, checked = plan.classify(pos, lim)
+                        if esc == -2:
+                            # Tracker withdrew batching: the rest of
+                            # the slab replays scalarly.
+                            sync_active()
+                            for i in range(pos, m):
+                                earliest = issue + float(g_s[i])
+                                slot = (count0 + i) % mlp
+                                start = window[slot]
+                                if start < earliest:
+                                    start = earliest
+                                issue = start
+                                done = access(
+                                    start,
+                                    int(r_s[i]),
+                                    int(l_s[i]),
+                                    bool(w_s[i]),
+                                )
+                                window[slot] = done
+                                total_latency += done - start
+                                count = count0 + i + 1
+                            next_reset = window_sched.next_reset
+                            for b in range(nb):
+                                synced_to[b] = m
+                            pos = m
+                            break
+                    if 0 <= f_esc < (esc if esc >= 0 else checked):
+                        esc = f_esc
+                    e = esc if esc >= 0 else min(checked, lim)
+                    commit_segment(pos, e)
+                    cur_pos[0] = e
+                    if e == m:
+                        pos = m
+                        break
+                    if esc >= 0:
+                        if forced and forced[0] == esc:
+                            forced.pop(0)
+                        prev_reset = next_reset
+                        bound = replay_one(esc)
+                        pos = esc + 1
+                        if next_reset != prev_reset:
+                            plan = make_plan(r_s)
+                            if pos < m:
+                                reset_idx = pos + int(
+                                    np.searchsorted(
+                                        s[pos:], next_reset, "left"
+                                    )
+                                )
+                        if bound:
+                            pos = drain_bind(pos)
+                        continue
+                    if e == reset_idx and e < m:
+                        prev_reset = next_reset
+                        bound = replay_one(e)
+                        pos = e + 1
+                        plan = make_plan(r_s)
+                        if pos < m:
+                            reset_idx = pos + int(
+                                np.searchsorted(s[pos:], next_reset, "left")
+                            )
+                        if bound:
+                            pos = drain_bind(pos)
+                        continue
+                    if e == bound_at and e < m:
+                        pos = drain_bind(e)
+                        continue
+                    # Classification horizon (generic plans): keep
+                    # walking from the checked boundary.
+                    pos = e
+
+                # Slab epilogue: flush deferred bank stats, bring every
+                # bank object up to date for the next slab.
+                self._flush_bank_stats(
+                    segs, bk, hit, noopen_set, l_s, w_s, nb
+                )
+                cur_pos[0] = m
+                sync_active()
+                base += m
+
+        self._vec_sync = None
+        end = max(window) if count else 0.0
+        return EngineRunOutcome(
+            end_time_ns=end, requests=count, total_latency_ns=total_latency
+        )
+
+    # ------------------------------------------------------------------
+    # Deferred per-bank statistics
+    # ------------------------------------------------------------------
+
+    def _flush_bank_stats(self, segs, bk, hit, noopen_set, l_s, w_s, nb):
+        """Batch-add DRAM activity stats for the walked segments.
+
+        All fields are integer counters, so order does not matter; the
+        totals match what the scalar loop would have accumulated
+        request by request.
+        """
+        if not segs:
+            return
+        idx = np.concatenate([np.arange(a, e) for a, e in segs])
+        bki = bk[idx]
+        hiti = hit[idx]
+        tot = np.bincount(bki, minlength=nb)
+        hits_pb = np.bincount(bki[hiti], minlength=nb)
+        noopen_pb = np.zeros(nb, dtype=np.int64)
+        for p in noopen_set:
+            for a, e in segs:
+                if a <= p < e:
+                    noopen_pb[bk[p]] += 1
+                    break
+        miss_pb = tot - hits_pb
+        lines = l_s[idx].astype(np.float64)
+        wmask = w_s[idx]
+        wl = np.bincount(bki[wmask], weights=lines[wmask], minlength=nb)
+        rl = np.bincount(bki[~wmask], weights=lines[~wmask], minlength=nb)
+        banks = self.banks
+        for b in np.nonzero(tot)[0]:
+            st = banks[b].stats
+            st.row_buffer_hits += int(hits_pb[b])
+            st.row_buffer_misses += int(miss_pb[b])
+            st.activations += int(miss_pb[b])
+            st.precharges += int(miss_pb[b] - noopen_pb[b])
+            st.read_lines += int(rl[b])
+            st.write_lines += int(wl[b])
+
+
+def _hits_in(hit, lo: int, e: int):
+    """Positions of row-buffer hits inside [lo, e) (usually empty)."""
+    seg = hit[lo:e]
+    if not seg.any():
+        return ()
+    return (np.nonzero(seg)[0] + lo).tolist()

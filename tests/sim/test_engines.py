@@ -1,6 +1,6 @@
-"""Cross-engine parity: fast and queued behind one selectable axis.
+"""Cross-engine parity: fast, queued, and vector behind one axis.
 
-The tentpole guarantee of the engine refactor: both memory-controller
+The tentpole guarantee of the engine refactor: all memory-controller
 engines run through one ``simulate()`` path, emit one ``RunResult``
 schema, agree on tracker-visible behaviour where scheduling cannot
 change it, and never share cache entries.
@@ -15,6 +15,7 @@ from repro.memctrl import (
     ENGINES,
     MemoryController,
     QueuedMemoryController,
+    VectorMemoryController,
     build_controller,
     normalize_engine,
 )
@@ -52,7 +53,7 @@ def distinct_row_trace(config, n=400, gap=50.0):
 
 class TestEngineSelection:
     def test_engines_catalogue(self):
-        assert ENGINES == ("fast", "queued")
+        assert ENGINES == ("fast", "queued", "vector")
         for engine in ENGINES:
             assert normalize_engine(engine) == engine
 
@@ -65,9 +66,12 @@ class TestEngineSelection:
     def test_build_controller_classes(self):
         fast = build_controller("fast", CONFIG.geometry, CONFIG.timing)
         queued = build_controller("queued", CONFIG.geometry, CONFIG.timing)
+        vector = build_controller("vector", CONFIG.geometry, CONFIG.timing)
         assert isinstance(fast, MemoryController)
         assert isinstance(queued, QueuedMemoryController)
+        assert isinstance(vector, VectorMemoryController)
         assert fast.engine == "fast" and queued.engine == "queued"
+        assert vector.engine == "vector"
 
     def test_with_engine(self):
         queued = CONFIG.with_engine("queued")
@@ -111,6 +115,7 @@ class TestRunResultParity:
             counts[engine] = result.activations
             assert result.requests == len(trace)
         assert counts["fast"] == counts["queued"] > 0
+        assert counts["vector"] == counts["fast"]
 
     def test_dcbf_delay_visible_on_both_engines(self):
         # Long double-sided hammer: FR-FCFS row-hit batching legitimately
@@ -133,6 +138,16 @@ class TestEngineCacheKeys:
         bare = cell_key(CONFIG, "hydra", "xz")
         override = cell_key(CONFIG, "hydra@engine=queued", "xz")
         assert bare != override
+
+    def test_vector_spec_keys_separately(self):
+        keys = {
+            cell_key(CONFIG, f"hydra@engine={engine}", "xz")
+            for engine in ENGINES
+        }
+        assert len(keys) == len(ENGINES)
+        assert cell_key(CONFIG.with_engine("vector"), "hydra", "xz") != (
+            cell_key(CONFIG, "hydra", "xz")
+        )
 
     def test_trace_key_engine_agnostic(self):
         assert CONFIG.trace_key() == CONFIG.with_engine("queued").trace_key()
@@ -181,6 +196,11 @@ class TestSpecEngineAxis:
             canonical_spec("hydra@engine=queued , trh=250")
             == "hydra@engine=queued,trh=250"
         )
+        assert (
+            canonical_spec("hydra@trh=250, engine=vector")
+            == "hydra@engine=vector,trh=250"
+        )
+        assert spec_engine("hydra@engine=vector") == "vector"
 
     def test_bad_engine_value_rejected(self):
         with pytest.raises(ValueError, match="not one of"):

@@ -13,6 +13,10 @@ import pytest
 sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
 
 from _common import all_slowdown  # noqa: E402
+from bench_engine_throughput import (  # noqa: E402
+    DEFAULT_CELLS,
+    cells_for_engines,
+)
 
 from repro.sim.results import Comparison  # noqa: E402
 from repro.workloads.characteristics import all_names  # noqa: E402
@@ -46,3 +50,22 @@ class TestAllSlowdown:
     def test_empty_input_raises_clearly(self):
         with pytest.raises(ValueError, match="at least one comparison"):
             all_slowdown([])
+
+
+class TestEngineCellSelection:
+    def test_default_cells_cover_all_three_engines(self):
+        assert {engine for _, engine in DEFAULT_CELLS} == {
+            "fast", "queued", "vector",
+        }
+
+    def test_engines_filter_keeps_order(self):
+        cells = cells_for_engines(["vector"])
+        assert cells == (("baseline", "vector"), ("hydra", "vector"))
+        both = cells_for_engines(["fast", "vector"])
+        assert both == tuple(
+            c for c in DEFAULT_CELLS if c[1] in ("fast", "vector")
+        )
+
+    def test_unknown_engine_filter_exits(self):
+        with pytest.raises(SystemExit, match="no benchmark cells"):
+            cells_for_engines(["warp"])

@@ -125,6 +125,29 @@ class TestRunCommand:
         assert "execution time" in out
 
 
+class TestProfileCommand:
+    def test_engine_flag_parses_all_engines(self):
+        for engine in ("fast", "queued", "vector"):
+            args = build_parser().parse_args(
+                ["profile", "leela", "--engine", engine]
+            )
+            assert args.engine == engine
+
+    def test_profile_vector_engine_passthrough(self, capsys):
+        code = main(
+            ["profile", "leela", "--tracker", "hydra",
+             "--scale-denominator", "256", "--engine", "vector",
+             "--limit", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # The profiled cell ran on the requested engine...
+        assert "hydra/vector" in out
+        # ...and the report shows the vector hot path, not the
+        # scalar per-request pipeline.
+        assert "tottime" in out
+
+
 class TestTraceCommand:
     def _record(self, destination, capsys):
         assert main(
