@@ -48,6 +48,21 @@ from repro.interfaces import (
 
 __version__ = "1.0.0"
 
+#: The blessed experiment surface (``repro.api``), re-exported lazily
+#: (PEP 562) so ``import repro`` stays cheap: the simulation stack
+#: behind these names loads only on first attribute access.
+_API_EXPORTS = (
+    "run",
+    "sweep",
+    "compare",
+    "RunSpec",
+    "GridSpec",
+    "RunResult",
+    "GridResult",
+    "list_trackers",
+    "list_attacks",
+)
+
 __all__ = [
     "ActivationTracker",
     "GroupCountTable",
@@ -61,4 +76,17 @@ __all__ = [
     "TrackerResponse",
     "hydra_storage",
     "__version__",
+    *_API_EXPORTS,
 ]
+
+
+def __getattr__(name: str):
+    if name in _API_EXPORTS:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_API_EXPORTS))

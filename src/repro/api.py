@@ -1,0 +1,184 @@
+"""The blessed programmatic surface of the reproduction.
+
+Every front-end — the ``hydra-sim`` CLI, the sweep service's HTTP
+endpoints, ``repro.analysis.experiments`` figure scripts — routes
+through these few typed entry points; everything else in the package
+is implementation detail that may move between releases:
+
+- :func:`run` — one (tracker, workload) simulation → ``RunResult``.
+- :func:`sweep` — a :class:`~repro.sim.grid.GridSpec` of simulations →
+  a :class:`~repro.service.jobs.JobHandle`, running either in-process
+  (a private broker) or on a remote ``hydra-sim serve`` instance.
+- :func:`compare` — tracked column vs the no-tracking baseline →
+  ``ComparisonResult``.
+- :func:`list_trackers` / :func:`list_attacks` — the registry names a
+  spec string may start with.
+
+The value objects of the surface (``RunSpec``, ``GridSpec``,
+``RunResult``, ``GridResult``) re-export from here so callers can
+``from repro.api import ...`` alone.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.sim.config import SystemConfig
+from repro.sim.grid import GridSpec
+from repro.sim.results import ComparisonResult, GridResult, RunResult
+from repro.sim.simulator import simulate_workload
+from repro.sim.spec import RunSpec
+from repro.sim.sweep import ExperimentRunner
+from repro.service.jobs import JobHandle
+
+__all__ = [
+    "ComparisonResult",
+    "GridResult",
+    "GridSpec",
+    "JobHandle",
+    "RunResult",
+    "RunSpec",
+    "SystemConfig",
+    "compare",
+    "list_attacks",
+    "list_trackers",
+    "run",
+    "sweep",
+]
+
+
+def run(
+    spec: Union[None, str, RunSpec] = None,
+    workload: str = "GUPS",
+    config: Optional[SystemConfig] = None,
+    observe: Optional[bool] = None,
+) -> RunResult:
+    """Simulate one (tracker, workload) cell.
+
+    ``spec`` is a tracker spec string (``"hydra@trh=1000"``), a
+    :class:`RunSpec`, or ``None`` for the default tracker. The result
+    is byte-identical to calling :func:`repro.sim.simulate` on the
+    workload's trace — this is a naming/typing facade, not a second
+    code path.
+    """
+    resolved = RunSpec.coerce(spec=spec)
+    return simulate_workload(
+        config if config is not None else SystemConfig(),
+        resolved,
+        workload,
+        observe=observe,
+    )
+
+
+def sweep(
+    grid: Union[GridSpec, Sequence[str]],
+    workloads: Optional[Sequence[str]] = None,
+    config: Optional[SystemConfig] = None,
+    service: Optional[str] = None,
+    pool: str = "process",
+    workers: Optional[int] = None,
+    state_dir: Optional[Path] = None,
+    cache_dir: Optional[Path] = None,
+) -> JobHandle:
+    """Submit a grid of simulations; returns a :class:`JobHandle`.
+
+    ``grid`` is the blessed :class:`GridSpec` (or the tracker-list
+    shorthand, coerced to one). The grid's config wins; an explicit
+    ``config`` argument fills one in when the spec carries none, and
+    plain ``SystemConfig()`` is the last resort.
+
+    With ``service="host:port"`` the grid is submitted over HTTP to a
+    running ``hydra-sim serve`` instance and the returned handle is
+    remote. Otherwise a private :class:`~repro.service.broker
+    .SweepBroker` runs it in-process (``pool``/``workers`` as in the
+    broker; the handle keeps the broker alive). Either way the
+    handle's surface is identical: ``status()`` / ``events()`` /
+    ``result()`` / ``cancel()``.
+    """
+    if not isinstance(grid, GridSpec):
+        grid = GridSpec.coerce(grid, workloads, config=config)
+    elif workloads is not None:
+        raise ValueError(
+            "pass a GridSpec alone, not together with workloads"
+        )
+    if grid.config is None:
+        grid = grid.with_config(
+            config if config is not None else SystemConfig()
+        )
+    elif config is not None and grid.config != config:
+        raise ValueError(
+            "GridSpec.config disagrees with the config= argument;"
+            " drop one of them"
+        )
+
+    if service is not None:
+        from repro.service.client import ServiceClient
+
+        host, _, port = service.rpartition(":")
+        client = ServiceClient(host or "127.0.0.1", int(port))
+        return client.submit(grid)
+
+    from repro.service.broker import SweepBroker
+
+    broker = SweepBroker(
+        state_dir=state_dir,
+        cache_dir=cache_dir,
+        pool=pool,
+        workers=workers,
+    )
+    return broker.handle(broker.submit(grid))
+
+
+def compare(
+    tracker: Union[str, GridSpec] = "hydra",
+    workloads: Optional[Sequence[str]] = None,
+    config: Optional[SystemConfig] = None,
+    baseline: str = "baseline",
+    jobs: Optional[int] = None,
+    progress: Optional[bool] = None,
+    cache_dir: Optional[Path] = None,
+    manifest_path: Optional[Path] = None,
+) -> ComparisonResult:
+    """Tracked column vs the no-tracking baseline, per workload.
+
+    ``tracker`` may be a spec string or a single-tracker
+    :class:`GridSpec` (whose workload axis and config are then used).
+    Both columns run through the shared result cache.
+    """
+    if isinstance(tracker, GridSpec) and tracker.config is not None:
+        if config is not None and tracker.config != config:
+            raise ValueError(
+                "GridSpec.config disagrees with the config= argument;"
+                " drop one of them"
+            )
+        config = tracker.config
+        tracker = GridSpec(
+            trackers=tracker.trackers, workloads=tracker.workloads
+        )
+    runner = ExperimentRunner(
+        config if config is not None else SystemConfig(),
+        cache_dir=cache_dir,
+        jobs=jobs,
+        manifest_path=manifest_path,
+    )
+    return runner.compare(
+        tracker,
+        workloads,
+        baseline_name=baseline,
+        progress=progress,
+    )
+
+
+def list_trackers() -> Sequence[str]:
+    """Registry names a tracker spec string may start with."""
+    from repro.trackers.registry import available_trackers
+
+    return available_trackers()
+
+
+def list_attacks() -> Sequence[str]:
+    """Registry names an attack spec string may start with."""
+    from repro.attacks import available_attacks
+
+    return available_attacks()

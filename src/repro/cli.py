@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core import HydraConfig, HydraTracker, hydra_storage
@@ -243,8 +244,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    runner = _runner(args)
-    comparisons = runner.compare(args.tracker)
+    from repro import api
+    from repro.obs.manifest import resolve_manifest_path
+    from repro.sim import default_cache_dir
+
+    comparisons = api.compare(
+        args.tracker,
+        config=_config(args),
+        jobs=args.jobs,
+        manifest_path=getattr(args, "manifest", None),
+    )
     print(f"{'workload':<12} {'norm. perf':>10}")
     for comp in comparisons:
         print(f"{comp.workload:<12} {comp.normalized_performance:>10.4f}")
@@ -255,8 +264,85 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     print("\nslowdown by suite:")
     print(bar_chart(comparisons.slowdowns(), width=40, unit="%"))
-    if runner.manifest_path is not None:
-        print(f"\nmanifest appended: {runner.manifest_path}")
+    manifest = resolve_manifest_path(
+        getattr(args, "manifest", None), default_cache_dir()
+    )
+    if manifest is not None:
+        print(f"\nmanifest appended: {manifest}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import SweepBroker
+    from repro.service.http import serve_forever
+
+    broker = SweepBroker(
+        state_dir=Path(args.state_dir) if args.state_dir else None,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        pool=args.pool,
+        workers=args.workers,
+    )
+    serve_forever(broker, host=args.host, port=args.port)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import api
+
+    grid = api.GridSpec.coerce(
+        args.trackers.split(","),
+        args.workloads.split(",") if args.workloads else None,
+        config=_config(args),
+    )
+    handle = api.sweep(grid, service=f"{args.host}:{args.port}")
+    status = handle.status()
+    print(
+        f"submitted {handle.job_id}"
+        f" ({status.total_cells} cells, grid {status.grid_key})"
+    )
+    if args.detach:
+        return 0
+    for event in handle.events():
+        print(
+            f"  {event.get('spec', '?'):<24}"
+            f" {event.get('workload', '?'):<12}"
+            f" {'cache' if event.get('from_cache') else 'ran':<5}"
+            f" {event.get('wall_time_s', 0.0):>8.3f}s"
+        )
+    result = handle.result()
+    final = handle.status()
+    print(f"job {handle.job_id}: {final.state}"
+          f" ({final.cache_hits} cache hits, {final.retries} retries)")
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(result.to_payload(), indent=2, sort_keys=True)
+        )
+        print(f"wrote {args.json_out}")
+    else:
+        print(result.to_table())
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.host, args.port)
+    statuses = client.jobs()
+    if not statuses:
+        print("no jobs")
+        return 0
+    print(
+        f"{'job':<20} {'state':<10} {'cells':>11}"
+        f" {'hits':>5} {'retries':>7}  error"
+    )
+    for st in statuses:
+        cells = f"{st.completed_cells}/{st.total_cells}"
+        print(
+            f"{st.job_id:<20} {st.state:<10} {cells:>11}"
+            f" {st.cache_hits:>5} {st.retries:>7}  {st.error}"
+        )
     return 0
 
 
@@ -677,6 +763,83 @@ def build_parser() -> argparse.ArgumentParser:
         " REPRO_OBS=1)",
     )
     sweep.set_defaults(func=_cmd_sweep)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sweep service: HTTP front-end over a job broker",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8265)
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="where job specs/statuses/manifests persist"
+        " (default: the result-cache directory); restarting a broker"
+        " on the same state dir resumes interrupted jobs",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="shared result cache (default: $REPRO_CACHE_DIR); point"
+        " several brokers at one directory to shard across machines",
+    )
+    serve.add_argument(
+        "--pool",
+        choices=("process", "thread", "inline"),
+        default="process",
+        help="worker pool kind (default process)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count (default: $REPRO_JOBS, else serial)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a sweep grid to a running 'hydra-sim serve'",
+    )
+    _add_common(submit)
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8265)
+    submit.add_argument(
+        "--trackers",
+        default="hydra",
+        metavar="SPECS",
+        help="comma-separated tracker specs forming the grid's tracker"
+        " axis (default hydra)",
+    )
+    submit.add_argument(
+        "--workloads",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated workload names (default: all 36)",
+    )
+    submit.add_argument(
+        "--detach",
+        action="store_true",
+        help="print the job id and return instead of streaming events"
+        " and waiting for the result",
+    )
+    submit.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="write the completed GridResult payload as JSON",
+    )
+    submit.set_defaults(func=_cmd_submit)
+
+    jobs_cmd = sub.add_parser(
+        "jobs", help="list jobs on a running 'hydra-sim serve'"
+    )
+    jobs_cmd.add_argument("--host", default="127.0.0.1")
+    jobs_cmd.add_argument("--port", type=int, default=8265)
+    jobs_cmd.set_defaults(func=_cmd_jobs)
 
     catalogue = sub.add_parser(
         "list-trackers",

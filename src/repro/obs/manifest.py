@@ -48,6 +48,11 @@ class ManifestRecord:
     #: Simulated requests per wall-clock second (0.0 for cache hits —
     #: a cache load's wall time says nothing about simulation speed).
     throughput_rps: float = 0.0
+    #: Sweep-service job the cell was produced for ("" outside the
+    #: service). Job-scoped manifests let ``GET /jobs/<id>/events``
+    #: stream exactly one job's cells while everything still appends
+    #: to ordinary JSON-lines files.
+    job_id: str = ""
     schema_version: int = MANIFEST_SCHEMA_VERSION
     #: Record discriminator: manifests interleave grid-cell provenance
     #: (``"cell"``) with other writers (e.g. the arena's
@@ -149,6 +154,7 @@ def make_record(
     wall_time_s: float,
     requests: int,
     end_time_ns: float,
+    job_id: str = "",
 ) -> ManifestRecord:
     """Build a record, deriving throughput from wall time."""
     throughput = 0.0
@@ -164,6 +170,7 @@ def make_record(
         requests=requests,
         end_time_ns=end_time_ns,
         throughput_rps=throughput,
+        job_id=job_id,
     )
 
 

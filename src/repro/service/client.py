@@ -1,0 +1,176 @@
+"""Blocking HTTP client of a ``hydra-sim serve`` instance.
+
+Stdlib ``http.client`` only — the client side of the service mirrors
+the server side's no-new-deps constraint. :class:`ServiceClient` maps
+one method per endpoint; :class:`RemoteJobHandle` wraps a submitted
+job id in the same :class:`~repro.service.jobs.JobHandle` surface the
+in-process broker hands back, so callers of ``repro.api.sweep`` never
+care where the grid actually runs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.service.jobs import JobHandle, JobStatus
+from repro.sim.grid import GridSpec
+from repro.sim.results import GridResult
+
+#: How often a blocking ``result()`` re-polls the job status.
+DEFAULT_RESULT_POLL_S = 0.2
+
+
+class ServiceError(RuntimeError):
+    """An HTTP endpoint answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Talks JSON to a sweep service at ``host:port``."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8265,
+        timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- raw request plumbing ------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode()
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read().decode() or "{}")
+            return response.status, data
+        finally:
+            conn.close()
+
+    def _checked(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        status, data = self._request(method, path, payload)
+        if status >= 400:
+            raise ServiceError(status, data.get("error", "request failed"))
+        return data
+
+    # -- endpoints ------------------------------------------------------
+
+    def healthy(self) -> bool:
+        try:
+            status, _ = self._request("GET", "/healthz")
+        except OSError:
+            return False
+        return status == 200
+
+    def submit(self, grid: GridSpec) -> "RemoteJobHandle":
+        data = self._checked("POST", "/jobs", {"grid": grid.to_dict()})
+        return RemoteJobHandle(self, data["job_id"])
+
+    def jobs(self) -> List[JobStatus]:
+        data = self._checked("GET", "/jobs")
+        return [JobStatus.from_dict(item) for item in data["jobs"]]
+
+    def status(self, job_id: str) -> JobStatus:
+        return JobStatus.from_dict(self._checked("GET", f"/jobs/{job_id}"))
+
+    def cancel(self, job_id: str) -> JobStatus:
+        return JobStatus.from_dict(
+            self._checked("DELETE", f"/jobs/{job_id}")
+        )
+
+    def result(self, job_id: str) -> GridResult:
+        data = self._checked("GET", f"/jobs/{job_id}/result")
+        return GridResult.from_payload(data["grid"])
+
+    def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Stream the job's NDJSON event tail until it completes.
+
+        Holds one dedicated connection open; the server closes it when
+        the job reaches a terminal state.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                data = json.loads(response.read().decode() or "{}")
+                raise ServiceError(
+                    response.status, data.get("error", "request failed")
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode())
+        finally:
+            conn.close()
+
+
+class RemoteJobHandle(JobHandle):
+    """A :class:`JobHandle` backed by a :class:`ServiceClient`."""
+
+    def __init__(self, client: ServiceClient, job_id: str) -> None:
+        self._client = client
+        self._job_id = job_id
+
+    @property
+    def job_id(self) -> str:
+        return self._job_id
+
+    def status(self) -> JobStatus:
+        return self._client.status(self._job_id)
+
+    def events(self) -> Iterator[Dict[str, Any]]:
+        return self._client.events(self._job_id)
+
+    def result(self, timeout: Optional[float] = None) -> GridResult:
+        deadline = None if timeout is None else time.time() + timeout
+        while True:
+            status = self.status()
+            if status.done:
+                if status.state != "completed":
+                    raise ServiceError(
+                        409,
+                        f"job {self._job_id} ended {status.state}: "
+                        f"{status.error}",
+                    )
+                return self._client.result(self._job_id)
+            if deadline is not None and time.time() > deadline:
+                raise TimeoutError(
+                    f"job {self._job_id} still {status.state} "
+                    f"after {timeout}s"
+                )
+            time.sleep(DEFAULT_RESULT_POLL_S)
+
+    def cancel(self) -> JobStatus:
+        return self._client.cancel(self._job_id)

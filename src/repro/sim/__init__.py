@@ -9,6 +9,7 @@ from repro.sim.config import (
     default_scale,
     resolve_jobs,
 )
+from repro.sim.grid import GridCell, GridSpec
 from repro.sim.results import (
     SCHEMA_VERSION,
     WELL_KNOWN_EXTRAS,
@@ -38,7 +39,9 @@ __all__ = [
     "ComparisonResult",
     "DEFAULT_TRACKER",
     "ExperimentRunner",
+    "GridCell",
     "GridResult",
+    "GridSpec",
     "ResultCache",
     "RunResult",
     "RunSpec",

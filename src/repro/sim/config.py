@@ -15,9 +15,9 @@ paper's full 32 GB / 64 ms configuration.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.core.config import HydraConfig
 from repro.dram.timing import PAPER_GEOMETRY, PAPER_TIMING, DramGeometry, DramTiming
@@ -230,6 +230,22 @@ class SystemConfig:
     def with_trace_file(self, trace_file: Optional[str]) -> "SystemConfig":
         """The same system replaying a recorded trace file."""
         return replace(self, trace_file=trace_file)
+
+    # ------------------------------------------------------------------
+    # Serialization (the sweep service ships configs over the wire)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form; every field is a primitive by construction."""
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "SystemConfig":
+        """Load a serialized config, dropping unknown (newer) keys."""
+        known = {spec.name for spec in fields(SystemConfig)}
+        return SystemConfig(
+            **{k: v for k, v in data.items() if k in known}
+        )
 
     def _stream_suffix(self) -> str:
         """Key suffix for the streaming axis (empty at the defaults).

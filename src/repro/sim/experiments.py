@@ -44,10 +44,11 @@ def run_experiment(name: str, config: SystemConfig) -> dict:
 def _tracker_sweep(
     config: SystemConfig, tracker_names: Sequence[str]
 ) -> dict:
-    runner = ExperimentRunner(config)
+    from repro import api
+
     payload = {}
     for tracker in tracker_names:
-        comparisons = runner.compare(tracker)
+        comparisons = api.compare(tracker, config=config)
         payload[tracker] = {
             "per_workload": {
                 c.workload: round(c.normalized_performance, 4)

@@ -358,6 +358,39 @@ class GridResult(Mapping[str, Dict[str, RunResult]]):
             if name != baseline
         }
 
+    # -- serialization (the sweep service ships grids over HTTP) -------
+
+    def to_payload(self) -> Dict[str, Dict[str, Dict[str, Any]]]:
+        """Plain-JSON form: tracker -> workload -> RunResult payload.
+
+        Canonical when dumped with ``sort_keys=True``: two grids with
+        the same cells serialize byte-identically, which is what the
+        service's resume guarantee is stated in terms of (a preempted
+        and resumed job reaches the same ``GridResult`` bytes as an
+        uninterrupted run).
+        """
+        return {
+            tracker: {
+                workload: result.to_dict()
+                for workload, result in column.items()
+            }
+            for tracker, column in self._cells.items()
+        }
+
+    @staticmethod
+    def from_payload(
+        data: Mapping[str, Mapping[str, Dict[str, Any]]]
+    ) -> "GridResult":
+        return GridResult(
+            {
+                tracker: {
+                    workload: RunResult.from_dict(payload)
+                    for workload, payload in column.items()
+                }
+                for tracker, column in data.items()
+            }
+        )
+
     def to_table(self, attribute: str = "end_time_ns") -> str:
         """Plain-text workloads x trackers table of one result field."""
         trackers = self.trackers

@@ -59,6 +59,7 @@ import atexit
 import hashlib
 import shutil
 import tempfile
+import warnings
 from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple, Union
@@ -271,6 +272,13 @@ def simulate(
     ``$REPRO_OBS``. The returned result is identical either way except
     for the non-serialized ``observability`` field.
     """
+    if tracker_name is not None:
+        warnings.warn(
+            "simulate(tracker_name=...) is deprecated; pass spec="
+            " (a spec string or RunSpec) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     run_spec = RunSpec.coerce(
         spec=spec, tracker_name=tracker_name, tracker=tracker, engine=engine
     )

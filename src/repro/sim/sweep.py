@@ -57,6 +57,7 @@ from repro.sim.config import (
     default_cache_dir,
     resolve_jobs,
 )
+from repro.sim.grid import GridSpec
 from repro.sim.results import (
     Comparison,  # noqa: F401  (re-exported for established importers)
     ComparisonResult,
@@ -216,6 +217,9 @@ class ExperimentRunner:
         )
         self.cache = ResultCache(self.cache_dir)
         self._results: Dict[str, RunResult] = {}
+        #: Job id stamped onto manifest records of the current grid
+        #: ("" outside the sweep service).
+        self._manifest_job_id = ""
 
     # ------------------------------------------------------------------
 
@@ -237,14 +241,50 @@ class ExperimentRunner:
         self._results[key] = result
         return result
 
+    def _coerce_grid(
+        self,
+        grid: Union[GridSpec, Sequence[str]],
+        workload_names: Optional[Sequence[str]],
+    ) -> GridSpec:
+        """Normalize the grid argument to a GridSpec against this
+        runner's config.
+
+        The positional ``(tracker_names, workload_names)`` form is the
+        deprecated shim: it builds the same GridSpec the blessed call
+        would pass. A GridSpec carrying its *own* config must agree
+        with the runner's — cache keys are computed from the runner's
+        config, and silently honouring a different one would mislabel
+        every cell.
+        """
+        if isinstance(grid, GridSpec):
+            if workload_names is not None:
+                raise ValueError(
+                    "pass a GridSpec alone, not together with"
+                    " workload_names"
+                )
+            if grid.config is not None and grid.config != self.config:
+                raise ValueError(
+                    "GridSpec.config disagrees with this runner's"
+                    " config; build the runner from the grid's config"
+                    " (repro.api.sweep does) or drop the grid's"
+                )
+            return grid.with_config(self.config)
+        return GridSpec.coerce(grid, workload_names, config=self.config)
+
     def run_grid(
         self,
-        tracker_names: Sequence[str],
+        tracker_names: Union[GridSpec, Sequence[str]],
         workload_names: Optional[Sequence[str]] = None,
         jobs: Optional[int] = None,
         progress: Optional[bool] = None,
+        job_id: str = "",
     ) -> GridResult:
         """tracker -> workload -> RunResult for the whole grid.
+
+        The blessed argument is a :class:`~repro.sim.grid.GridSpec`;
+        the legacy positional ``(tracker_names, workload_names)`` form
+        is kept as a thin deprecated shim that builds the equivalent
+        GridSpec.
 
         Returns a :class:`~repro.sim.results.GridResult` — dict-style
         access is unchanged, with ``.comparisons()``/``.slowdowns()``/
@@ -257,10 +297,13 @@ class ExperimentRunner:
         cells/hits/throughput report on or off (default: on when
         stderr is a terminal). When the runner has a
         ``manifest_path``, one provenance record per cell is appended
-        after the grid completes.
+        after the grid completes; ``job_id`` stamps those records
+        (the sweep service passes its job id here).
         """
-        names = list(workload_names) if workload_names else all_names()
-        trackers = list(tracker_names)
+        spec = self._coerce_grid(tracker_names, workload_names)
+        self._manifest_job_id = job_id
+        names = spec.resolved_workloads()
+        trackers = list(spec.trackers)
         n_jobs = resolve_jobs(jobs if jobs is not None else self.jobs)
         grid: Dict[str, Dict[str, RunResult]] = {t: {} for t in trackers}
         cells = [(t, w) for t in trackers for w in names]
@@ -331,6 +374,7 @@ class ExperimentRunner:
             wall_time_s=wall_s,
             requests=result.requests,
             end_time_ns=result.end_time_ns,
+            job_id=self._manifest_job_id,
         )
 
     def _run_cells_parallel(
@@ -368,7 +412,7 @@ class ExperimentRunner:
 
     def compare(
         self,
-        tracker_name: str,
+        tracker_name: Union[str, GridSpec],
         workload_names: Optional[Sequence[str]] = None,
         baseline_name: str = "baseline",
         jobs: Optional[int] = None,
@@ -380,17 +424,39 @@ class ExperimentRunner:
         plain list of :class:`Comparison` plus ``.geomean()``/
         ``.suite_geomeans()``/``.slowdowns()``/``.to_table()``.
 
-        Both columns of the comparison go through :meth:`run_grid`, so
-        ``jobs``/``REPRO_JOBS`` parallelism applies here too.
+        The tracked column may be named by a spec string (the legacy
+        shim) or carried in a single-tracker
+        :class:`~repro.sim.grid.GridSpec` (whose workload axis is then
+        used). Both columns of the comparison go through
+        :meth:`run_grid`, so ``jobs``/``REPRO_JOBS`` parallelism
+        applies here too.
         """
-        names = list(workload_names) if workload_names else all_names()
+        if isinstance(tracker_name, GridSpec):
+            grid_spec = tracker_name
+            if len(grid_spec.trackers) != 1:
+                raise ValueError(
+                    "compare() takes a single-tracker GridSpec; run"
+                    " multi-tracker grids through run_grid()"
+                )
+            if workload_names is not None:
+                raise ValueError(
+                    "pass a GridSpec alone, not together with"
+                    " workload_names"
+                )
+            tracker = grid_spec.trackers[0]
+            names = grid_spec.resolved_workloads()
+        else:
+            tracker = tracker_name
+            names = (
+                list(workload_names) if workload_names else all_names()
+            )
         grid = self.run_grid(
-            [baseline_name, tracker_name],
+            [baseline_name, tracker],
             names,
             jobs=jobs,
             progress=progress,
         )
-        return grid.comparisons(tracker_name, baseline=baseline_name)
+        return grid.comparisons(tracker, baseline=baseline_name)
 
     # ------------------------------------------------------------------
     # Cache plumbing

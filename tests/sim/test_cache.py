@@ -75,3 +75,70 @@ class TestCorruptEviction:
         assert cache.load("abc") is None
         cache.store("abc", {"x": 2})
         assert cache.load("abc") == {"x": 2}
+
+
+class TestLeases:
+    """The in-flight marker API (atomic create, TTL, stale reclaim)."""
+
+    def test_first_claim_wins(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.lease("abc", "worker-1", ttl_s=60, now=100.0)
+        assert cache.lease_path("abc").exists()
+
+    def test_second_claim_loses_while_fresh(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.lease("abc", "worker-1", ttl_s=60, now=100.0)
+        assert not cache.lease("abc", "worker-2", ttl_s=60, now=130.0)
+
+    def test_lease_info_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.lease("abc", "worker-1", ttl_s=60, now=100.0)
+        info = cache.lease_info("abc")
+        assert info.owner == "worker-1"
+        assert info.expires_at == 160.0
+        assert not info.expired(159.9)
+        assert info.expired(160.0)
+
+    def test_expired_lease_is_reclaimed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.lease("abc", "crashed", ttl_s=60, now=100.0)
+        # Past the TTL another worker takes over.
+        assert cache.lease("abc", "worker-2", ttl_s=60, now=161.0)
+        assert cache.lease_info("abc").owner == "worker-2"
+        assert cache.leases_reclaimed == 1
+
+    def test_release_by_owner(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.lease("abc", "worker-1", ttl_s=60, now=100.0)
+        cache.release("abc", "worker-1")
+        assert cache.lease_info("abc") is None
+        assert cache.lease("abc", "worker-2", ttl_s=60, now=101.0)
+
+    def test_release_by_stranger_is_ignored(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.lease("abc", "worker-1", ttl_s=60, now=100.0)
+        cache.release("abc", "worker-2")
+        assert cache.lease_info("abc").owner == "worker-1"
+
+    def test_release_absent_lease_is_noop(self, tmp_path):
+        ResultCache(tmp_path).release("abc", "worker-1")
+
+    def test_corrupt_lease_file_treated_as_absent(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.lease_path("abc").parent.mkdir(parents=True, exist_ok=True)
+        cache.lease_path("abc").write_text("{torn")
+        assert cache.lease_info("abc") is None
+
+    def test_lease_does_not_block_store_or_load(self, tmp_path):
+        # Leases are advisory: the data path ignores them entirely.
+        cache = ResultCache(tmp_path)
+        cache.lease("abc", "worker-1", ttl_s=60, now=100.0)
+        cache.store("abc", {"x": 1})
+        assert cache.load("abc") == {"x": 1}
+
+    def test_store_counter_counts_writes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.stores == 0
+        cache.store("abc", {"x": 1})
+        cache.store("def", {"x": 2})
+        assert cache.stores == 2

@@ -1,0 +1,151 @@
+"""GridSpec value-object tests: validation, cells, canonical JSON."""
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.grid import GridSpec
+from repro.sim.sweep import ExperimentRunner, cell_key
+from repro.workloads.characteristics import all_names
+
+CONFIG = SystemConfig(scale=1 / 256, n_windows=1)
+
+
+class TestConstruction:
+    def test_requires_a_tracker(self):
+        with pytest.raises(ValueError):
+            GridSpec(trackers=())
+
+    def test_rejects_unknown_tracker_spec(self):
+        with pytest.raises(ValueError, match="unknown tracker"):
+            GridSpec(trackers=("not-a-tracker",))
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            GridSpec(trackers=("hydra",), workloads=("nope",))
+
+    def test_keeps_given_spellings(self):
+        spec = GridSpec(trackers=("hydra@rcc_kb=28,trh=1000",))
+        assert spec.trackers == ("hydra@rcc_kb=28,trh=1000",)
+
+    def test_empty_workloads_resolve_to_all(self):
+        spec = GridSpec(trackers=("hydra",))
+        assert spec.resolved_workloads() == all_names()
+        assert spec.n_cells() == len(all_names())
+
+
+class TestConfigResolution:
+    def test_own_config_wins(self):
+        spec = GridSpec(trackers=("hydra",), config=CONFIG)
+        assert spec.resolved_config(SystemConfig()) == CONFIG
+
+    def test_fallback_used_when_none(self):
+        spec = GridSpec(trackers=("hydra",))
+        assert spec.resolved_config(CONFIG) == CONFIG
+
+    def test_no_config_anywhere_raises(self):
+        with pytest.raises(ValueError):
+            GridSpec(trackers=("hydra",)).resolved_config()
+
+    def test_with_config(self):
+        spec = GridSpec(trackers=("hydra",)).with_config(CONFIG)
+        assert spec.config == CONFIG
+
+
+class TestCells:
+    def test_tracker_major_deterministic_order(self):
+        spec = GridSpec.coerce(
+            ["baseline", "hydra"], ["leela", "gcc"], config=CONFIG
+        )
+        cells = list(spec.cells())
+        assert [(c.tracker, c.workload) for c in cells] == [
+            ("baseline", "leela"),
+            ("baseline", "gcc"),
+            ("hydra", "leela"),
+            ("hydra", "gcc"),
+        ]
+
+    def test_cell_keys_match_runner_keys(self):
+        spec = GridSpec.coerce(["hydra"], ["leela"], config=CONFIG)
+        (cell,) = spec.cells()
+        assert cell.key == cell_key(CONFIG, "hydra", "leela")
+
+
+class TestCanonicalJson:
+    def test_round_trip_equality(self):
+        spec = GridSpec.coerce(
+            ["hydra@trh=1000"], ["leela"], config=CONFIG
+        )
+        assert GridSpec.from_json(spec.to_json()) == spec
+
+    def test_round_trip_without_config(self):
+        spec = GridSpec.coerce(["hydra"], ["leela"])
+        restored = GridSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.config is None
+
+    def test_spelling_variants_share_grid_key(self):
+        a = GridSpec.coerce(["hydra@trh=1000,rcc_kb=28"], ["leela"])
+        b = GridSpec.coerce(["hydra@rcc_kb=28,trh=1000"], ["leela"])
+        assert a.grid_key() == b.grid_key()
+        assert a.to_json() != b.to_json()  # spellings preserved
+
+    def test_different_grids_different_keys(self):
+        a = GridSpec.coerce(["hydra"], ["leela"])
+        b = GridSpec.coerce(["baseline"], ["leela"])
+        assert a.grid_key() != b.grid_key()
+
+    def test_explicit_full_suite_equals_default(self):
+        a = GridSpec.coerce(["hydra"])
+        b = GridSpec.coerce(["hydra"], all_names())
+        assert a.grid_key() == b.grid_key()
+
+
+class TestRunnerIntegration:
+    """run_grid/compare accept GridSpec; positional form is a shim."""
+
+    def test_run_grid_accepts_gridspec(self, tmp_path):
+        runner = ExperimentRunner(CONFIG, cache_dir=tmp_path)
+        spec = GridSpec.coerce(["baseline"], ["leela"], config=CONFIG)
+        grid = runner.run_grid(spec, progress=False)
+        assert list(grid) == ["baseline"]
+        assert list(grid["baseline"]) == ["leela"]
+
+    def test_positional_shim_equivalent(self, tmp_path):
+        runner = ExperimentRunner(CONFIG, cache_dir=tmp_path)
+        via_spec = runner.run_grid(
+            GridSpec.coerce(["baseline"], ["leela"], config=CONFIG),
+            progress=False,
+        )
+        via_positional = runner.run_grid(
+            ["baseline"], ["leela"], progress=False
+        )
+        assert (
+            via_spec["baseline"]["leela"].end_time_ns
+            == via_positional["baseline"]["leela"].end_time_ns
+        )
+
+    def test_conflicting_config_rejected(self, tmp_path):
+        runner = ExperimentRunner(CONFIG, cache_dir=tmp_path)
+        other = GridSpec.coerce(
+            ["baseline"], ["leela"], config=SystemConfig(scale=1 / 128)
+        )
+        with pytest.raises(ValueError, match="disagrees"):
+            runner.run_grid(other)
+
+    def test_gridspec_plus_workloads_rejected(self, tmp_path):
+        runner = ExperimentRunner(CONFIG, cache_dir=tmp_path)
+        spec = GridSpec.coerce(["baseline"], ["leela"], config=CONFIG)
+        with pytest.raises(ValueError):
+            runner.run_grid(spec, ["gcc"])
+
+    def test_compare_accepts_single_tracker_gridspec(self, tmp_path):
+        runner = ExperimentRunner(CONFIG, cache_dir=tmp_path)
+        spec = GridSpec.coerce(["hydra"], ["leela"], config=CONFIG)
+        comparisons = runner.compare(spec, progress=False)
+        assert [c.workload for c in comparisons] == ["leela"]
+
+    def test_compare_rejects_multi_tracker_gridspec(self, tmp_path):
+        runner = ExperimentRunner(CONFIG, cache_dir=tmp_path)
+        spec = GridSpec.coerce(["hydra", "cra"], ["leela"], config=CONFIG)
+        with pytest.raises(ValueError, match="single-tracker"):
+            runner.compare(spec)
